@@ -1,0 +1,16 @@
+"""Shared benchmark fixtures and table output helpers."""
+
+import pytest
+
+from repro.bench import current_scale, output_dir
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def publish(table, slug):
+    """Print a result table and drop its CSV next to the bench output."""
+    table.show()
+    table.to_csv(output_dir() / f"{slug}.csv")

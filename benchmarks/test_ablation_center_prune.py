@@ -1,0 +1,35 @@
+"""Ablation A1 — what Center Distance Constraint pruning buys.
+
+The paper's central novelty: with pruning disabled TreePi degrades to
+plain support-set filtering.  Expectation: P'_q <= P_q everywhere, with
+a visible candidate reduction on at least some workloads.
+"""
+
+from conftest import publish
+
+from repro.bench import ablation_center_prune, get_database, get_treepi
+from repro.datasets import extract_query_workload
+
+
+def test_ablation_center_prune(benchmark, scale):
+    table = ablation_center_prune(scale)
+    publish(table, "ablation_a1_center_prune")
+
+    filter_only = table.column("Pq_filter_only")
+    with_prune = table.column("Pq_prime_with_prune")
+    for fo, wp in zip(filter_only, with_prune):
+        assert wp <= fo + 1e-9
+    # The constraint must actually fire somewhere.
+    assert sum(with_prune) < sum(filter_only) or sum(filter_only) == 0
+
+    db = get_database("chemical", scale.query_db_size, scale)
+    pruned = get_treepi("chemical", scale.query_db_size, scale)
+    workload = list(
+        extract_query_workload(db, scale.query_sizes[-1], scale.queries_per_size, seed=9)
+    )
+
+    def run_with_prune():
+        for query in workload:
+            pruned.query(query)
+
+    benchmark.pedantic(run_with_prune, rounds=1, iterations=1)

@@ -1,0 +1,31 @@
+"""Ablation A2 — the shrinking parameter γ (index memory vs filter power).
+
+Expectation: γ up → features down (monotone); candidate quality degrades
+only gradually because shrinking preferentially removes redundant trees.
+"""
+
+from conftest import publish
+
+from repro.bench import ablation_shrinking, get_database, treepi_config
+from repro.core import TreePiIndex
+
+
+def test_ablation_shrinking(benchmark, scale):
+    table = ablation_shrinking(scale)
+    publish(table, "ablation_a2_shrinking")
+
+    features = table.column("features")
+    assert features == sorted(features, reverse=True)
+    candidates = table.column("avg_Pq_prime")
+    dq = table.column("avg_Dq")[0]
+    for c in candidates:
+        assert c >= dq - 1e-9
+
+    # Timed target: a build at the most aggressive gamma.
+    db = get_database("chemical", scale.query_db_size, scale)
+    benchmark.pedantic(
+        TreePiIndex.build,
+        args=(db, treepi_config(scale, gamma=3.0)),
+        rounds=1,
+        iterations=1,
+    )

@@ -1,0 +1,30 @@
+"""Figure 9 — index size (#features) of TreePi vs gIndex over DB sizes.
+
+Paper shape: TreePi's feature count stays comparable to or below gIndex's
+while using lower support thresholds, and both grow sublinearly in N.
+"""
+
+from conftest import publish
+
+from repro.bench import experiment_index_size, get_database, treepi_config
+from repro.core import TreePiIndex
+
+
+def test_fig09_index_size(benchmark, scale):
+    table = experiment_index_size(scale)
+    publish(table, "fig09_index_size")
+
+    treepi = table.column("treepi_features")
+    gindex = table.column("gindex_features")
+    assert all(v > 0 for v in treepi + gindex)
+    # TreePi wins or ties on most points despite lower thresholds.
+    wins = sum(1 for t, g in zip(treepi, gindex) if t <= g)
+    assert wins * 2 >= len(treepi)
+    # Sublinear growth: doubling N must not double the feature count.
+    assert treepi[-1] < treepi[0] * (scale.db_sizes[-1] / scale.db_sizes[0])
+
+    # Timed target: one fresh TreePi build at the smallest sweep size.
+    db = get_database("chemical", scale.db_sizes[0], scale)
+    benchmark.pedantic(
+        TreePiIndex.build, args=(db, treepi_config(scale)), rounds=1, iterations=1
+    )

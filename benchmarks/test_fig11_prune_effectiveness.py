@@ -1,0 +1,61 @@
+"""Figure 11 — prune effectiveness vs |D_q| on real and synthetic data.
+
+Paper shape: both reduced sets sit above |D_q|; TreePi's gap to the
+optimum is clearly smaller than gIndex's for selective queries, and the
+synthetic low-label-diversity dataset (11b) is harder for both.
+"""
+
+from conftest import publish
+
+from repro.bench import experiment_prune_effectiveness, get_database, get_gindex
+from repro.datasets import extract_query_workload
+
+
+def _check_funnel(table):
+    for dq, tp in zip(table.column("avg_Dq"), table.column("treepi_Pq_prime")):
+        assert tp >= dq - 1e-9
+    for dq, gi in zip(table.column("avg_Dq"), table.column("gindex_Cq")):
+        assert gi >= dq - 1e-9
+
+
+def test_fig11a_real_dataset(benchmark, scale):
+    table = experiment_prune_effectiveness(scale, dataset="chemical")
+    publish(table, "fig11a_prune_effectiveness_real")
+    _check_funnel(table)
+
+    db = get_database("chemical", scale.query_db_size, scale)
+    gindex = get_gindex("chemical", scale.query_db_size, scale)
+    workload = list(
+        extract_query_workload(db, scale.query_sizes[0], scale.queries_per_size, seed=5)
+    )
+
+    def run_gindex():
+        for query in workload:
+            gindex.query(query)
+
+    benchmark.pedantic(run_gindex, rounds=1, iterations=1)
+
+
+def test_fig11b_synthetic_dataset(benchmark, scale):
+    table = experiment_prune_effectiveness(scale, dataset="synthetic", labels=4)
+    publish(table, "fig11b_prune_effectiveness_synthetic")
+    _check_funnel(table)
+    # TreePi should beat or match gIndex on aggregate candidates here —
+    # the paper reports roughly two-fold prune effectiveness.
+    total_tp = sum(table.column("treepi_Pq_prime"))
+    total_gi = sum(table.column("gindex_Cq"))
+    assert total_tp <= total_gi * 1.25
+
+    from repro.bench import get_treepi
+
+    db = get_database("synthetic", scale.query_db_size, scale, labels=4)
+    treepi = get_treepi("synthetic", scale.query_db_size, scale, labels=4)
+    workload = list(
+        extract_query_workload(db, scale.query_sizes[0], scale.queries_per_size, seed=6)
+    )
+
+    def run_treepi():
+        for query in workload:
+            treepi.query(query)
+
+    benchmark.pedantic(run_treepi, rounds=1, iterations=1)

@@ -1,0 +1,61 @@
+"""Figure 12 — construction and query time on the real (AIDS-like) dataset.
+
+Paper shape: (a) both construction times grow roughly linearly with N and
+TreePi builds faster (tree mining + polynomial canonical forms);
+(b) TreePi answers queries faster, with the gap widening on larger
+queries where gIndex's subgraph enumeration and naive verification bite.
+"""
+
+from conftest import publish
+
+from repro.bench import (
+    experiment_index_construction,
+    experiment_query_time,
+    get_database,
+    get_gindex,
+    gindex_config,
+)
+from repro.baselines import GIndexBaseline
+from repro.datasets import extract_query_workload
+
+
+def test_fig12a_index_construction(benchmark, scale):
+    table = experiment_index_construction(scale, dataset="chemical")
+    publish(table, "fig12a_index_construction_real")
+
+    treepi = table.column("treepi_seconds")
+    gindex = table.column("gindex_seconds")
+    wins = sum(1 for t, g in zip(treepi, gindex) if t <= g)
+    assert wins * 2 >= len(treepi)
+    # Roughly linear in N: time ratio bounded by ~2x the size ratio.
+    size_ratio = scale.db_sizes[-1] / scale.db_sizes[0]
+    assert treepi[-1] / max(treepi[0], 1e-9) <= 2.5 * size_ratio
+
+    db = get_database("chemical", scale.db_sizes[0], scale)
+    benchmark.pedantic(
+        GIndexBaseline.build, args=(db, gindex_config(scale)), rounds=1, iterations=1
+    )
+
+
+def test_fig12b_query_time(benchmark, scale):
+    table = experiment_query_time(scale, dataset="chemical")
+    publish(table, "fig12b_query_time_real")
+
+    treepi = table.column("treepi_ms")
+    gindex = table.column("gindex_ms")
+    assert all(v > 0 for v in treepi + gindex)
+    # The paper's headline: TreePi faster on large queries.
+    assert treepi[-1] <= gindex[-1]
+
+    db = get_database("chemical", scale.query_db_size, scale)
+    gi = get_gindex("chemical", scale.query_db_size, scale)
+    workload = list(
+        extract_query_workload(db, scale.query_sizes[-1], scale.queries_per_size,
+                               seed=97 + scale.query_sizes[-1])
+    )
+
+    def run_gindex():
+        for query in workload:
+            gi.query(query)
+
+    benchmark.pedantic(run_gindex, rounds=1, iterations=1)

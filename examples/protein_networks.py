@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Motif search over protein-interaction-like networks.
+
+The paper motivates graph indexing with biological pathway and
+interaction-network data; this example indexes a corpus of
+hub-and-spoke interaction networks and searches for signaling motifs
+(kinase cascades, feedback loops), summarizing the whole workload with
+the statistics collector.
+
+Run:  python examples/protein_networks.py
+"""
+
+import time
+
+from repro import LabeledGraph, TreePiConfig, TreePiIndex
+from repro.baselines import SequentialScan
+from repro.bench import QueryStatsCollector
+from repro.datasets import generate_protein_networks
+from repro.mining import SupportFunction
+
+print("generating 120 interaction networks ...")
+database = generate_protein_networks(120, avg_proteins=16, seed=303)
+hubs = max(g.degree(v) for g in database for v in g.vertices())
+print(f"  avg size {database.average_edge_count():.1f} interactions, "
+      f"max hub degree {hubs}")
+
+index = TreePiIndex.build(
+    database, TreePiConfig(SupportFunction(alpha=2, beta=3.0, eta=5), gamma=1.1)
+)
+scan = SequentialScan(database)
+print(f"indexed {index.feature_count()} feature trees")
+
+motif_queries = {
+    "kinase cascade": LabeledGraph(
+        ["receptor", "kinase", "kinase", "tf"],
+        [(0, 1, "activates"), (1, 2, "activates"), (2, 3, "activates")],
+    ),
+    "chaperone complex": LabeledGraph(
+        ["chaperone", "kinase", "receptor"],
+        [(0, 1, "binds"), (0, 2, "binds")],
+    ),
+    "inhibition chain": LabeledGraph(
+        ["phosphatase", "kinase", "tf"],
+        [(0, 1, "inhibits"), (1, 2, "activates")],
+    ),
+    "degradation tag": LabeledGraph(
+        ["ligase", "protease", "tf"],
+        [(0, 1, "binds"), (1, 2, "inhibits")],
+    ),
+    "double-kinase hub": LabeledGraph(
+        ["kinase", "kinase", "kinase"],
+        [(0, 1, "binds"), (0, 2, "binds")],
+    ),
+}
+
+collector = QueryStatsCollector("protein motifs")
+print(f"\n{'motif':22} {'hits':>5} {'ms':>8}")
+for name, query in motif_queries.items():
+    t0 = time.perf_counter()
+    result = index.query(query)
+    elapsed = time.perf_counter() - t0
+    collector.record(result, seconds=elapsed)
+    assert result.matches == scan.support_set(query), name
+    print(f"{name:22} {len(result.matches):>5} {elapsed * 1000:>8.2f}")
+
+collector.summary_table().show()
+print("\nall motif answers verified against sequential scan")

@@ -1,0 +1,19 @@
+"""Baselines: gIndex (the paper's comparator), GraphGrep, sequential scan."""
+
+from repro.baselines.gindex import GIndexBaseline, GIndexConfig, GIndexStats
+from repro.baselines.graphgrep import (
+    GraphGrepBaseline,
+    GraphGrepConfig,
+    path_fingerprint,
+)
+from repro.baselines.scan import SequentialScan
+
+__all__ = [
+    "GIndexBaseline",
+    "GIndexConfig",
+    "GIndexStats",
+    "GraphGrepBaseline",
+    "GraphGrepConfig",
+    "path_fingerprint",
+    "SequentialScan",
+]

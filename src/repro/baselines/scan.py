@@ -1,0 +1,43 @@
+"""Sequential scan: the ground-truth (and lower-bound) query processor.
+
+Runs the naive subgraph-isomorphism test against every database graph.
+Benchmarks use it both as the "no index" comparison point and as the
+oracle that integration tests compare every index against.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import FrozenSet
+
+from repro.core.statistics import QueryResult
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+from repro.graphs.isomorphism import is_subgraph_isomorphic
+
+
+class SequentialScan:
+    """A trivially correct query processor with no preprocessing at all."""
+
+    def __init__(self, database: GraphDatabase):
+        self._db = database
+
+    @property
+    def database(self) -> GraphDatabase:
+        return self._db
+
+    def support_set(self, query: LabeledGraph) -> FrozenSet[int]:
+        """``D_q`` computed by brute force."""
+        return frozenset(
+            g.graph_id for g in self._db if is_subgraph_isomorphic(query, g)
+        )
+
+    def query(self, query: LabeledGraph) -> QueryResult:
+        start = time.perf_counter()
+        matches = self.support_set(query)
+        n = len(self._db)
+        return QueryResult(
+            matches=matches,
+            candidates_after_filter=n,
+            candidates_after_prune=n,
+            phase_seconds={"verification": time.perf_counter() - start},
+        )

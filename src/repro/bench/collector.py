@@ -1,0 +1,99 @@
+"""Workload statistics collection: aggregate QueryResults into tables.
+
+Benchmarks and examples repeatedly compute means over workloads by hand;
+:class:`QueryStatsCollector` centralizes that — record every
+:class:`~repro.core.statistics.QueryResult`, then read off means,
+percentiles, phase breakdowns, and a rendered table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.bench.harness import Table
+from repro.core.statistics import QueryResult
+
+
+def percentile(values: List[float], fraction: float) -> float:
+    """Nearest-rank percentile (``fraction`` in [0, 1]) of ``values``."""
+    if not values:
+        return 0.0
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction must be in [0, 1], got {fraction}")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, round(fraction * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class QueryStatsCollector:
+    """Accumulates per-query metrics for one workload."""
+
+    def __init__(self, name: str = "workload"):
+        self.name = name
+        self._results: List[QueryResult] = []
+        self._latencies: List[float] = []
+
+    def record(self, result: QueryResult, seconds: Optional[float] = None) -> None:
+        """Record one query; ``seconds`` overrides the result's own timing."""
+        self._results.append(result)
+        self._latencies.append(
+            result.total_seconds if seconds is None else seconds
+        )
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    # ------------------------------------------------------------------
+    def mean(self, attribute: str) -> float:
+        if not self._results:
+            return 0.0
+        return sum(getattr(r, attribute) for r in self._results) / len(self._results)
+
+    def mean_latency_ms(self) -> float:
+        if not self._latencies:
+            return 0.0
+        return sum(self._latencies) * 1000 / len(self._latencies)
+
+    def latency_percentile_ms(self, fraction: float) -> float:
+        return percentile(self._latencies, fraction) * 1000
+
+    def direct_hit_rate(self) -> float:
+        if not self._results:
+            return 0.0
+        return sum(r.direct_hit for r in self._results) / len(self._results)
+
+    def phase_breakdown_ms(self) -> Dict[str, float]:
+        """Mean milliseconds per pipeline phase across the workload."""
+        totals: Dict[str, float] = {}
+        for result in self._results:
+            for phase, seconds in result.phase_seconds.items():
+                totals[phase] = totals.get(phase, 0.0) + seconds
+        n = max(1, len(self._results))
+        return {phase: s * 1000 / n for phase, s in totals.items()}
+
+    def false_positive_rate(self) -> float:
+        """Fraction of post-prune candidates the verifier rejected."""
+        candidates = sum(r.candidates_after_prune for r in self._results)
+        matches = sum(len(r.matches) for r in self._results)
+        if candidates == 0:
+            return 0.0
+        return (candidates - matches) / candidates
+
+    # ------------------------------------------------------------------
+    def summary_table(self) -> Table:
+        table = Table(
+            title=f"Query workload summary — {self.name}",
+            columns=["metric", "value"],
+        )
+        table.add_row("queries", len(self._results))
+        table.add_row("mean |Dq|", self.mean("support"))
+        table.add_row("mean |Pq|", self.mean("candidates_after_filter"))
+        table.add_row("mean |P'q|", self.mean("candidates_after_prune"))
+        table.add_row("direct-hit rate", self.direct_hit_rate())
+        table.add_row("false-positive rate", self.false_positive_rate())
+        table.add_row("mean latency (ms)", self.mean_latency_ms())
+        table.add_row("p50 latency (ms)", self.latency_percentile_ms(0.50))
+        table.add_row("p95 latency (ms)", self.latency_percentile_ms(0.95))
+        for phase, ms in sorted(self.phase_breakdown_ms().items()):
+            table.add_row(f"phase {phase} (ms)", ms)
+        return table

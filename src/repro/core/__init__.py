@@ -1,0 +1,54 @@
+"""TreePi core: features, partitioning, filtering, pruning, verification."""
+
+from repro.core.center_prune import (
+    CenterConstraintProblem,
+    center_assignments,
+    center_prune,
+    satisfies_center_constraints,
+)
+from repro.core.crf import (
+    canonical_reconstruction_form,
+    overlap_signature,
+    union_graph,
+)
+from repro.core.feature import CenterSet, FeatureTree
+from repro.core.filtering import FilterOutcome, filter_candidates
+from repro.core.partition import (
+    Partition,
+    PartitionRun,
+    QueryPiece,
+    random_partition,
+    run_partitions,
+)
+from repro.core.statistics import IndexStats, QueryResult
+from repro.core.treepi import TreePiConfig, TreePiIndex
+from repro.core.bptree import BPlusTree
+from repro.core.trie import StringTrie
+from repro.core.verification import VerificationStats, verify_candidate
+
+__all__ = [
+    "CenterConstraintProblem",
+    "center_assignments",
+    "center_prune",
+    "satisfies_center_constraints",
+    "canonical_reconstruction_form",
+    "overlap_signature",
+    "union_graph",
+    "CenterSet",
+    "FeatureTree",
+    "FilterOutcome",
+    "filter_candidates",
+    "Partition",
+    "PartitionRun",
+    "QueryPiece",
+    "random_partition",
+    "run_partitions",
+    "IndexStats",
+    "QueryResult",
+    "TreePiConfig",
+    "TreePiIndex",
+    "StringTrie",
+    "BPlusTree",
+    "VerificationStats",
+    "verify_candidate",
+]

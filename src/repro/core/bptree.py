@@ -1,0 +1,289 @@
+"""A B+-tree over strings — the paper's alternative feature index.
+
+Section 4.2.2: "Since all feature trees are transformed to strings, other
+traditional indexing techniques, such as B+ tree, can also be applied
+here."  This module provides that alternative: a textbook in-memory
+B+-tree with sorted leaf chaining, supporting point lookup, insertion,
+deletion (with borrow/merge rebalancing), and ordered range scans —
+the operation a character trie cannot do efficiently over arbitrary
+lexicographic intervals.
+
+:class:`BPlusTree` is interface-compatible with
+:class:`repro.core.trie.StringTrie` (``insert`` / ``get`` / ``remove`` /
+``__contains__`` / ``__len__`` / ``items_with_prefix`` / ``keys``), so
+:class:`repro.core.treepi.TreePiIndex` can be built over either via
+``TreePiConfig.feature_index``.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: List[str] = []
+        self.children: List["_Node"] = []   # internal nodes only
+        self.values: List[int] = []         # leaves only
+        self.next_leaf: Optional["_Node"] = None  # leaves only
+
+
+class BPlusTree:
+    """An in-memory B+-tree mapping strings to integers.
+
+    ``order`` is the maximum number of children of an internal node (and
+    the maximum number of entries of a leaf); nodes split when they would
+    exceed it and borrow/merge when they fall below ``ceil(order/2) - 1``
+    entries after a deletion.
+    """
+
+    def __init__(self, order: int = 32):
+        if order < 3:
+            raise ValueError("B+-tree order must be >= 3")
+        self._order = order
+        self._root = _Node(is_leaf=True)
+        self._size = 0
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def _find_leaf(self, key: str) -> _Node:
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            node = node.children[idx]
+        return node
+
+    def get(self, key: str) -> Optional[int]:
+        leaf = self._find_leaf(key)
+        idx = bisect.bisect_left(leaf.keys, key)
+        if idx < len(leaf.keys) and leaf.keys[idx] == key:
+            return leaf.values[idx]
+        return None
+
+    # ------------------------------------------------------------------
+    # insertion
+    # ------------------------------------------------------------------
+    def insert(self, key: str, value: int) -> None:
+        """Insert or overwrite the entry for ``key``."""
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+
+        idx = bisect.bisect_left(node.keys, key)
+        if idx < len(node.keys) and node.keys[idx] == key:
+            node.values[idx] = value
+            return
+        node.keys.insert(idx, key)
+        node.values.insert(idx, value)
+        self._size += 1
+
+        # Split upward while overfull.
+        while len(node.keys) > self._order:
+            mid = len(node.keys) // 2
+            if node.is_leaf:
+                right = _Node(is_leaf=True)
+                right.keys = node.keys[mid:]
+                right.values = node.values[mid:]
+                node.keys = node.keys[:mid]
+                node.values = node.values[:mid]
+                right.next_leaf = node.next_leaf
+                node.next_leaf = right
+                separator = right.keys[0]
+            else:
+                right = _Node(is_leaf=False)
+                separator = node.keys[mid]
+                right.keys = node.keys[mid + 1:]
+                right.children = node.children[mid + 1:]
+                node.keys = node.keys[:mid]
+                node.children = node.children[: mid + 1]
+
+            if path:
+                parent, child_idx = path.pop()
+                parent.keys.insert(child_idx, separator)
+                parent.children.insert(child_idx + 1, right)
+                node = parent
+            else:
+                new_root = _Node(is_leaf=False)
+                new_root.keys = [separator]
+                new_root.children = [node, right]
+                self._root = new_root
+                return
+
+    # ------------------------------------------------------------------
+    # deletion
+    # ------------------------------------------------------------------
+    def remove(self, key: str) -> bool:
+        """Remove ``key``; True if it was present."""
+        path: List[Tuple[_Node, int]] = []
+        node = self._root
+        while not node.is_leaf:
+            idx = bisect.bisect_right(node.keys, key)
+            path.append((node, idx))
+            node = node.children[idx]
+
+        idx = bisect.bisect_left(node.keys, key)
+        if idx >= len(node.keys) or node.keys[idx] != key:
+            return False
+        node.keys.pop(idx)
+        node.values.pop(idx)
+        self._size -= 1
+
+        min_entries = (self._order + 1) // 2 - 1
+        while node is not self._root and len(node.keys) < max(1, min_entries):
+            parent, child_idx = path.pop()
+            left_sibling = parent.children[child_idx - 1] if child_idx > 0 else None
+            right_sibling = (
+                parent.children[child_idx + 1]
+                if child_idx + 1 < len(parent.children)
+                else None
+            )
+
+            if left_sibling is not None and len(left_sibling.keys) > min_entries:
+                self._borrow_from_left(parent, child_idx, left_sibling, node)
+                return True
+            if right_sibling is not None and len(right_sibling.keys) > min_entries:
+                self._borrow_from_right(parent, child_idx, node, right_sibling)
+                return True
+
+            # Merge with a sibling.
+            if left_sibling is not None:
+                self._merge(parent, child_idx - 1, left_sibling, node)
+            else:
+                self._merge(parent, child_idx, node, right_sibling)
+            node = parent
+
+        if not self._root.is_leaf and len(self._root.children) == 1:
+            self._root = self._root.children[0]
+        return True
+
+    @staticmethod
+    def _borrow_from_left(
+        parent: _Node, child_idx: int, left: _Node, node: _Node
+    ) -> None:
+        if node.is_leaf:
+            node.keys.insert(0, left.keys.pop())
+            node.values.insert(0, left.values.pop())
+            parent.keys[child_idx - 1] = node.keys[0]
+        else:
+            node.keys.insert(0, parent.keys[child_idx - 1])
+            parent.keys[child_idx - 1] = left.keys.pop()
+            node.children.insert(0, left.children.pop())
+
+    @staticmethod
+    def _borrow_from_right(
+        parent: _Node, child_idx: int, node: _Node, right: _Node
+    ) -> None:
+        if node.is_leaf:
+            node.keys.append(right.keys.pop(0))
+            node.values.append(right.values.pop(0))
+            parent.keys[child_idx] = right.keys[0]
+        else:
+            node.keys.append(parent.keys[child_idx])
+            parent.keys[child_idx] = right.keys.pop(0)
+            node.children.append(right.children.pop(0))
+
+    @staticmethod
+    def _merge(parent: _Node, left_idx: int, left: _Node, right: _Node) -> None:
+        """Fold ``right`` into ``left`` and drop the separator at left_idx."""
+        if left.is_leaf:
+            left.keys.extend(right.keys)
+            left.values.extend(right.values)
+            left.next_leaf = right.next_leaf
+        else:
+            left.keys.append(parent.keys[left_idx])
+            left.keys.extend(right.keys)
+            left.children.extend(right.children)
+        parent.keys.pop(left_idx)
+        parent.children.pop(left_idx + 1)
+
+    # ------------------------------------------------------------------
+    # ordered scans
+    # ------------------------------------------------------------------
+    def items(self) -> Iterator[Tuple[str, int]]:
+        """All entries in key order (leaf chain walk)."""
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            yield from zip(node.keys, node.values)
+            node = node.next_leaf
+
+    def keys(self) -> Iterator[str]:
+        for key, _ in self.items():
+            yield key
+
+    def range(self, low: str, high: str) -> Iterator[Tuple[str, int]]:
+        """Entries with ``low <= key < high`` in key order."""
+        leaf = self._find_leaf(low)
+        idx = bisect.bisect_left(leaf.keys, low)
+        while leaf is not None:
+            while idx < len(leaf.keys):
+                key = leaf.keys[idx]
+                if key >= high:
+                    return
+                yield key, leaf.values[idx]
+                idx += 1
+            leaf = leaf.next_leaf
+            idx = 0
+
+    def items_with_prefix(self, prefix: str) -> Iterator[Tuple[str, int]]:
+        """All entries whose key starts with ``prefix`` (range scan)."""
+        if not prefix:
+            yield from self.items()
+            return
+        # The smallest string > every prefixed string: bump the last char.
+        high = prefix[:-1] + chr(ord(prefix[-1]) + 1)
+        yield from self.range(prefix, high)
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def height(self) -> int:
+        height = 1
+        node = self._root
+        while not node.is_leaf:
+            node = node.children[0]
+            height += 1
+        return height
+
+    def check_invariants(self) -> None:
+        """Validate sortedness, fanout bounds, and leaf-chain coverage."""
+        collected: List[str] = []
+
+        def walk(node: _Node, lo: Optional[str], hi: Optional[str], depth: int) -> int:
+            assert node.keys == sorted(node.keys), "unsorted node"
+            for key in node.keys:
+                assert lo is None or key >= lo, "key below separator"
+                assert hi is None or key < hi, "key above separator"
+            if node.is_leaf:
+                assert len(node.keys) == len(node.values)
+                collected.extend(node.keys)
+                return depth
+            assert len(node.children) == len(node.keys) + 1
+            if node is not self._root:
+                assert len(node.children) >= (self._order + 1) // 2
+            depths = set()
+            bounds = [lo, *node.keys, hi]
+            for i, child in enumerate(node.children):
+                depths.add(walk(child, bounds[i], bounds[i + 1], depth + 1))
+            assert len(depths) == 1, "leaves at unequal depths"
+            return depths.pop()
+
+        walk(self._root, None, None, 0)
+        assert collected == sorted(collected)
+        assert collected == list(self.keys()), "leaf chain disagrees with tree"
+        assert len(collected) == self._size

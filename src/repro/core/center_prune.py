@@ -1,0 +1,194 @@
+"""Center Distance Constraint pruning (Section 5.2.2, Algorithm 2).
+
+If ``q ⊆ g`` via an embedding ``f``, every piece of a Feature-Tree-
+Partition of ``q`` embeds into ``g`` centered at ``f(center)``, and since
+embeddings never stretch distances, the center-to-center distance of any
+two pieces inside ``g`` is **at most** their distance inside ``q``:
+
+    d_q(center(tp_i), center(tp_j)) >= d_g(center(tp'_i), center(tp'_j)).
+
+A candidate graph survives only if some assignment of recorded center
+locations — one per piece of ``TP_q`` — satisfies every pairwise
+constraint.  This is the paper's novelty: arbitrary subgraph features
+have no unique center, so gIndex cannot prune this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.feature import FeatureTree
+from repro.core.partition import Partition, QueryPiece
+from repro.graphs.distances import DistanceOracle
+from repro.graphs.graph import LabeledGraph
+from repro.trees.center import Center
+
+
+@dataclass
+class CenterConstraintProblem:
+    """The query-side half of the constraint check, computed once per query.
+
+    ``distances[i][j]`` is the center distance between pieces ``i`` and
+    ``j`` measured inside the query graph.
+    """
+
+    pieces: List[QueryPiece]
+    features: List[FeatureTree]
+    distances: List[List[float]]
+
+    @classmethod
+    def from_partition(
+        cls,
+        query: LabeledGraph,
+        partition: Partition,
+        lookup: Dict[str, FeatureTree],
+    ) -> "CenterConstraintProblem":
+        pieces = list(partition.pieces)
+        features = [lookup[p.key] for p in pieces]
+        oracle = DistanceOracle(query)
+        m = len(pieces)
+        distances = [[0.0] * m for _ in range(m)]
+        for i in range(m):
+            for j in range(i + 1, m):
+                d = oracle.set_distance(
+                    pieces[i].center_in_query, pieces[j].center_in_query
+                )
+                distances[i][j] = distances[j][i] = d
+        return cls(pieces=pieces, features=features, distances=distances)
+
+
+def center_assignments(
+    problem: CenterConstraintProblem,
+    graph: LabeledGraph,
+    graph_id: int,
+    oracle: Optional[DistanceOracle] = None,
+) -> Iterator[Tuple[Center, ...]]:
+    """Yield every assignment of recorded centers satisfying all constraints.
+
+    Assignments follow the piece order of ``problem``; pieces with fewer
+    recorded locations in this graph are *checked* first internally, but
+    yielded tuples stay in piece order so verification can anchor each
+    piece at its assigned center.
+    """
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    m = len(problem.pieces)
+    location_lists: List[Sequence[Center]] = []
+    for feature in problem.features:
+        centers = feature.centers_in(graph_id)
+        if not centers:
+            return
+        location_lists.append(sorted(centers))
+
+    # Assign most-constrained pieces (fewest candidate centers) first.
+    order = sorted(range(m), key=lambda i: len(location_lists[i]))
+    assignment: List[Optional[Center]] = [None] * m
+
+    def backtrack(pos: int) -> Iterator[Tuple[Center, ...]]:
+        if pos == m:
+            yield tuple(assignment)  # type: ignore[arg-type]
+            return
+        i = order[pos]
+        for center in location_lists[i]:
+            ok = True
+            for prev in order[:pos]:
+                bound = problem.distances[i][prev]
+                if oracle.set_distance(center, assignment[prev]) > bound:
+                    ok = False
+                    break
+            if ok:
+                assignment[i] = center
+                yield from backtrack(pos + 1)
+                assignment[i] = None
+
+    yield from backtrack(0)
+
+
+def satisfies_center_constraints(
+    problem: CenterConstraintProblem,
+    graph: LabeledGraph,
+    graph_id: int,
+    oracle: Optional[DistanceOracle] = None,
+    budget: Optional[int] = None,
+) -> bool:
+    """Algorithm 2's per-graph test: does any valid assignment exist?
+
+    ``budget`` optionally caps the number of pairwise distance checks;
+    when exhausted the graph is *kept* (pruning is a sound-to-skip
+    optimization), bounding worst-case prune latency on graphs with huge
+    center-assignment spaces.
+    """
+    if budget is None:
+        for _ in center_assignments(problem, graph, graph_id, oracle):
+            return True
+        return False
+
+    if oracle is None:
+        oracle = DistanceOracle(graph)
+    m = len(problem.pieces)
+    location_lists: List[Sequence[Center]] = []
+    for feature in problem.features:
+        centers = feature.centers_in(graph_id)
+        if not centers:
+            return False
+        location_lists.append(sorted(centers))
+    order = sorted(range(m), key=lambda i: len(location_lists[i]))
+    assignment: List[Optional[Center]] = [None] * m
+    checks = 0
+
+    def backtrack(pos: int) -> bool:
+        nonlocal checks
+        if pos == m:
+            return True
+        i = order[pos]
+        for center in location_lists[i]:
+            ok = True
+            for prev in order[:pos]:
+                checks += 1
+                if checks > budget:
+                    return True  # give up pruning: keep the graph
+                if oracle.set_distance(center, assignment[prev]) > (
+                    problem.distances[i][prev]
+                ):
+                    ok = False
+                    break
+            if ok:
+                assignment[i] = center
+                if backtrack(pos + 1):
+                    return True
+                assignment[i] = None
+        # A zero-piece prefix exhausting means genuinely no assignment.
+        return checks > budget
+
+    return backtrack(0)
+
+
+def center_prune(
+    problem: CenterConstraintProblem,
+    candidates: Sequence[int],
+    graphs: Dict[int, LabeledGraph],
+    oracles: Optional[Dict[int, DistanceOracle]] = None,
+    budget_per_graph: Optional[int] = None,
+) -> List[int]:
+    """Algorithm 2: reduce the filtered set ``P_q`` to ``P'_q``.
+
+    ``oracles`` optionally supplies/receives per-graph distance oracles so
+    BFS levels persist across queries (the index owns this cache);
+    ``budget_per_graph`` bounds per-graph pruning work (see
+    :func:`satisfies_center_constraints`).
+    """
+    survivors: List[int] = []
+    for gid in candidates:
+        graph = graphs[gid]
+        oracle = None
+        if oracles is not None:
+            oracle = oracles.get(gid)
+            if oracle is None:
+                oracle = DistanceOracle(graph)
+                oracles[gid] = oracle
+        if satisfies_center_constraints(
+            problem, graph, gid, oracle, budget=budget_per_graph
+        ):
+            survivors.append(gid)
+    return survivors

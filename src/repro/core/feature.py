@@ -1,0 +1,92 @@
+"""Feature trees: the index entries of TreePi (Section 4.2).
+
+A :class:`FeatureTree` is a selected frequent subtree together with
+
+* its canonical string (the lookup key),
+* its center in pattern coordinates (a vertex or an edge, Theorem 1),
+* its support set, and
+* for every supporting graph, the set of **center locations** — the
+  positions at which embedded copies of the tree are centered.  This is
+  the paper's per-vertex/per-edge bit array of Section 4.2.1, stored
+  sparsely, and it is the location information that powers both Center
+  Distance pruning and reconstruction-based verification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable
+
+from repro.graphs.graph import LabeledGraph
+from repro.mining.patterns import MinedPattern
+from repro.trees.center import Center, tree_center
+
+CenterSet = FrozenSet[Center]
+
+
+@dataclass
+class FeatureTree:
+    """One indexed feature tree with its exact occurrence locations."""
+
+    feature_id: int
+    tree: LabeledGraph
+    key: str                      # canonical string
+    center: Center                # center in the tree's own coordinates
+    locations: Dict[int, CenterSet] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Edge count of the feature tree."""
+        return self.tree.num_edges
+
+    @property
+    def is_edge_centered(self) -> bool:
+        return len(self.center) == 2
+
+    @property
+    def support(self) -> int:
+        """``|D_t|`` — the number of graphs containing this tree."""
+        return len(self.locations)
+
+    def support_set(self) -> FrozenSet[int]:
+        return frozenset(self.locations)
+
+    def centers_in(self, graph_id: int) -> CenterSet:
+        """Center locations of this feature inside one graph (possibly empty)."""
+        return self.locations.get(graph_id, frozenset())
+
+    def total_locations(self) -> int:
+        return sum(len(c) for c in self.locations.values())
+
+    @classmethod
+    def from_mined_pattern(cls, feature_id: int, pattern: MinedPattern) -> "FeatureTree":
+        """Derive a feature from a mined pattern's stored embeddings.
+
+        The center of each embedded copy is the image of the pattern center
+        (isomorphisms preserve centers), so locations fall straight out of
+        the embedding tuples with no extra isomorphism work.
+        """
+        center = tree_center(pattern.graph)
+        locations: Dict[int, CenterSet] = {}
+        for gid, embeddings in pattern.embeddings.items():
+            locations[gid] = frozenset(
+                tuple(sorted(emb[v] for v in center)) for emb in embeddings
+            )
+        return cls(
+            feature_id=feature_id,
+            tree=pattern.graph,
+            key=pattern.key,
+            center=center,
+            locations=locations,
+        )
+
+    def add_occurrences(self, graph_id: int, centers: Iterable[Center]) -> None:
+        """Insert-maintenance hook: record occurrences in a new graph."""
+        centers = frozenset(centers)
+        if centers:
+            existing = self.locations.get(graph_id, frozenset())
+            self.locations[graph_id] = existing | centers
+
+    def remove_graph(self, graph_id: int) -> bool:
+        """Delete-maintenance hook: purge a graph; True if it was present."""
+        return self.locations.pop(graph_id, None) is not None

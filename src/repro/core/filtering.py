@@ -1,0 +1,73 @@
+"""Filtering by support-set intersection (Section 5.2.1, Algorithm 1).
+
+``P_q = ⋂_{t ∈ SF_q ∩ T_D} D_t`` — a graph that misses any feature
+subtree of the query cannot contain the query.  Support sets are
+intersected smallest-first with an early exit on empty, and the paper's
+redundancy note (skip feature subtrees contained in an already-processed
+feature) is subsumed: intersecting a superset support changes nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set
+
+from repro.core.feature import FeatureTree
+from repro.core.partition import QueryPiece
+
+
+@dataclass
+class FilterOutcome:
+    """The filtered set P_q plus which pieces actually contributed."""
+
+    candidates: FrozenSet[int]
+    used_features: List[FeatureTree]
+    missing_key: Optional[str] = None  # a piece key absent from the index
+
+    @property
+    def definitely_empty(self) -> bool:
+        """True when filtering alone proves the query has no matches."""
+        return self.missing_key is not None or not self.candidates
+
+
+def filter_candidates(
+    universe: Iterable[int],
+    pieces: Iterable[QueryPiece],
+    lookup: Dict[str, FeatureTree],
+    extra_keys: Iterable[str] = (),
+) -> FilterOutcome:
+    """Algorithm 1 over the feature subtree set ``SF_q``.
+
+    ``universe`` is the full database id set (the ``P_q ← D`` initializer).
+    A piece whose canonical string the index does not know proves emptiness:
+    partitioning only terminates on feature trees or single edges, and a
+    single edge missing from the index occurs in no database graph.
+
+    ``extra_keys`` are additional query-subtree canonical strings (e.g. the
+    small-subtree augmentation); ones the index does not know are silently
+    skipped — they may simply have been γ-shrunk away.
+    """
+    features: List[FeatureTree] = []
+    for piece in pieces:
+        feature = lookup.get(piece.key)
+        if feature is None:
+            return FilterOutcome(
+                candidates=frozenset(), used_features=[], missing_key=piece.key
+            )
+        features.append(feature)
+    seen = {f.key for f in features}
+    for key in extra_keys:
+        feature = lookup.get(key)
+        if feature is not None and key not in seen:
+            seen.add(key)
+            features.append(feature)
+
+    features.sort(key=lambda f: f.support)
+    result: Set[int] = set(universe)
+    used: List[FeatureTree] = []
+    for feature in features:
+        result &= feature.support_set()
+        used.append(feature)
+        if not result:
+            break
+    return FilterOutcome(candidates=frozenset(result), used_features=used)

@@ -1,0 +1,193 @@
+"""Randomized Feature-Tree-Partition of query graphs (Section 5.1).
+
+``RP(q)`` recursively splits the query's edge set into connected parts
+until every part is a feature tree; single-edge parts always terminate
+(σ(1) = 1 keeps every database edge indexed, the worst-case guarantee).
+Running ``RP`` δ times yields δ partitions: the smallest becomes ``TP_q``
+(driving pruning and verification) and the union of all pieces becomes
+the feature subtree set ``SF_q`` (driving support-set filtering).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.graph import Edge, LabeledGraph, edge_key
+from repro.graphs.random_subgraph import random_connected_edge_subset
+from repro.trees.canonical import tree_canonical_string
+from repro.trees.center import Center, tree_center
+
+
+@dataclass
+class QueryPiece:
+    """One part of a Feature-Tree-Partition, kept in both coordinate systems.
+
+    ``tree`` is the piece renumbered ``0..k``; ``to_query`` maps its
+    vertices back onto query vertices so overlaps between pieces and
+    center distances inside the query stay computable.
+    """
+
+    edges: Tuple[Edge, ...]           # edge keys in query coordinates
+    tree: LabeledGraph                # piece-local coordinates
+    to_query: Dict[int, int]          # piece vertex -> query vertex
+    key: str                          # canonical string of the piece tree
+    center: Center                    # center in piece-local coordinates
+    center_in_query: Center           # the same center in query coordinates
+
+    @property
+    def size(self) -> int:
+        return self.tree.num_edges
+
+
+@dataclass
+class Partition:
+    """A Feature-Tree-Partition: non-edge-overlapping pieces covering q."""
+
+    pieces: List[QueryPiece]
+
+    @property
+    def size(self) -> int:
+        """``|p|`` — number of pieces; smaller is better (Section 5.1)."""
+        return len(self.pieces)
+
+    def piece_keys(self) -> List[str]:
+        return [p.key for p in self.pieces]
+
+
+def _make_piece(
+    edges: Sequence[Edge], sub: LabeledGraph, remap: Dict[int, int]
+) -> QueryPiece:
+    to_query = {new: old for old, new in remap.items()}
+    center = tree_center(sub)
+    return QueryPiece(
+        edges=tuple(sorted(edges)),
+        tree=sub,
+        to_query=to_query,
+        key=tree_canonical_string(sub),
+        center=center,
+        center_in_query=tuple(sorted(to_query[v] for v in center)),
+    )
+
+
+def _edge_components(edges: Sequence[Edge]) -> List[List[Edge]]:
+    """Split an edge set into connected components (union-find, no graphs)."""
+    parent: Dict[int, int] = {}
+
+    def find(x: int) -> int:
+        root = x
+        while parent[root] != root:
+            root = parent[root]
+        while parent[x] != root:
+            parent[x], x = root, parent[x]
+        return root
+
+    for u, v in edges:
+        parent.setdefault(u, u)
+        parent.setdefault(v, v)
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+    buckets: Dict[int, List[Edge]] = {}
+    for u, v in edges:
+        buckets.setdefault(find(u), []).append(edge_key(u, v))
+    return [sorted(b) for b in buckets.values()]
+
+
+# Cache entry for one edge subset: either a finished piece, or the built
+# subgraph + remap of a non-terminal subset awaiting a random split.
+_CacheEntry = Tuple[bool, object, object]
+
+
+def random_partition(
+    query: LabeledGraph,
+    is_feature: Callable[[str], bool],
+    rng: random.Random,
+    cache: Optional[Dict[frozenset, _CacheEntry]] = None,
+) -> Partition:
+    """One run of ``RP(q)``: split until every part is a feature tree.
+
+    A connected part terminates when it is a tree whose canonical string
+    the index recognizes, or when it is a single edge (which may or may not
+    be a feature — a non-feature edge means the query's answer is empty,
+    and the caller detects that from the piece's empty support).
+
+    ``cache`` memoizes, per query, the deterministic work on each edge
+    subset (subgraph construction, canonical string, terminal test) so the
+    δ restarts of :func:`run_partitions` never redo it; only the split
+    choices stay random.
+    """
+    if cache is None:
+        cache = {}
+    pieces: List[QueryPiece] = []
+    stack: List[List[Edge]] = [sorted(e[:2] for e in query.edges())]
+    while stack:
+        edges = stack.pop()
+        fs = frozenset(edges)
+        entry = cache.get(fs)
+        if entry is None:
+            sub, remap = query.subgraph_from_edges(edges)
+            terminal = len(edges) == 1 or (
+                sub.is_tree() and is_feature(tree_canonical_string(sub))
+            )
+            if terminal:
+                entry = (True, _make_piece(edges, sub, remap), None)
+            else:
+                entry = (False, sub, remap)
+            cache[fs] = entry
+        if entry[0]:
+            pieces.append(entry[1])  # type: ignore[arg-type]
+            continue
+        sub, remap = entry[1], entry[2]  # type: ignore[assignment]
+        # Random split into a connected part and the (possibly disconnected)
+        # remainder; remainder components are pushed separately.
+        k = rng.randint(1, len(edges) - 1)
+        local_part = random_connected_edge_subset(sub, k, rng)
+        inverse = {new: old for old, new in remap.items()}
+        part = sorted(edge_key(inverse[u], inverse[v]) for u, v in local_part)
+        rest = sorted(set(edges) - set(part))
+        stack.append(part)
+        if rest:
+            stack.extend(_edge_components(rest))
+    pieces.sort(key=lambda p: (-p.size, p.edges))
+    return Partition(pieces)
+
+
+@dataclass
+class PartitionRun:
+    """The outcome of running ``RP(q)`` δ times."""
+
+    best: Partition                       # TP_q — the minimum partition found
+    feature_subtrees: Dict[str, QueryPiece]  # SF_q keyed by canonical string
+    attempts: int
+
+    @property
+    def sfq_size(self) -> int:
+        return len(self.feature_subtrees)
+
+
+def run_partitions(
+    query: LabeledGraph,
+    is_feature: Callable[[str], bool],
+    delta: int,
+    rng: Optional[random.Random] = None,
+) -> PartitionRun:
+    """Execute ``RP(q)`` δ times; keep the minimum partition and pool SF_q.
+
+    The paper sets δ = |q| ("relatively large"); callers may tune it.
+    """
+    if rng is None:
+        rng = random.Random(0xC0FFEE)
+    best: Optional[Partition] = None
+    sfq: Dict[str, QueryPiece] = {}
+    attempts = max(1, delta)
+    cache: Dict[frozenset, _CacheEntry] = {}
+    for _ in range(attempts):
+        partition = random_partition(query, is_feature, rng, cache)
+        for piece in partition.pieces:
+            sfq.setdefault(piece.key, piece)
+        if best is None or partition.size < best.size:
+            best = partition
+    assert best is not None
+    return PartitionRun(best=best, feature_subtrees=sfq, attempts=attempts)

@@ -1,0 +1,58 @@
+"""Index- and query-level statistics records.
+
+Every figure in Section 6 is a statistic exposed here: feature counts
+(Fig. 9), candidate-set sizes after filtering and pruning (Figs. 10/11),
+and construction/query wall times (Figs. 12/13).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from repro.core.verification import VerificationStats
+from repro.mining.subtree_miner import MiningStats
+
+
+@dataclass
+class IndexStats:
+    """What one index build produced and how long it took."""
+
+    num_features: int
+    features_by_size: Dict[int, int]
+    total_center_locations: int
+    build_seconds: float
+    mining: MiningStats
+    shrink_removed: int
+
+    @property
+    def max_feature_size(self) -> int:
+        return max(self.features_by_size, default=0)
+
+
+@dataclass
+class QueryResult:
+    """The answer to one graph query plus the paper's per-phase metrics."""
+
+    matches: FrozenSet[int]
+    direct_hit: bool = False
+    partition_size: int = 0            # |TP_q|
+    sfq_size: int = 0                  # |SF_q|
+    candidates_after_filter: int = 0   # |P_q|
+    candidates_after_prune: int = 0    # |P'_q|
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    verification: VerificationStats = field(default_factory=VerificationStats)
+
+    @property
+    def support(self) -> int:
+        """``|D_q|`` — the true answer size."""
+        return len(self.matches)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.phase_seconds.values())
+
+    @property
+    def false_positives_after_prune(self) -> int:
+        """Candidates the verifier had to reject (lower is better)."""
+        return self.candidates_after_prune - len(self.matches)

@@ -1,0 +1,440 @@
+"""The TreePi index — the paper's primary contribution, end to end.
+
+``TreePiIndex.build`` runs database preprocessing (Section 4): frequent
+subtree mining under σ(s), γ-shrinking, feature materialization with
+exact center locations, and a prefix-trie over canonical strings.
+
+``TreePiIndex.query`` runs query processing (Section 5): randomized
+Feature-Tree-Partition, support-set filtering, Center Distance Constraint
+pruning, and reconstruction-based verification.  The result is exactly
+``D_q = {g : q ⊆ g}``.
+
+``insert`` / ``delete`` implement the Section 7.1 maintenance scheme:
+occurrences of existing features are updated in place, and the index
+advertises a rebuild once churn passes one quarter of the build size.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.center_prune import CenterConstraintProblem, center_prune
+from repro.core.feature import FeatureTree
+from repro.core.filtering import filter_candidates
+from repro.core.partition import run_partitions
+from repro.core.statistics import IndexStats, QueryResult
+from repro.core.trie import StringTrie
+from repro.core.verification import VerificationStats, verify_candidate
+from repro.exceptions import GraphError, IndexError_
+from repro.graphs.distances import DistanceOracle
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+from repro.graphs.isomorphism import is_subgraph_isomorphic, subgraph_monomorphisms
+from repro.mining.shrink import leaf_removed_subtrees, shrink_feature_set
+from repro.mining.subtree_miner import FrequentSubtreeMiner
+from repro.mining.support import SupportFunction
+from repro.trees.canonical import tree_canonical_string
+from repro.trees.center import tree_center
+
+
+def _augmentation_keys(
+    query: LabeledGraph, max_size: int
+) -> Tuple[List[str], List[str]]:
+    """Canonical strings of every subtree of the query up to ``max_size`` edges.
+
+    Returns ``(single_edge_keys, larger_keys)``.  Sizes up to α are indexed
+    unconditionally (σ(s) = 1), so intersecting their supports sharpens
+    SF_q essentially for free; misses among the larger keys are ignored by
+    filtering (they may have been γ-shrunk), while a missing *single edge*
+    proves the query unanswerable.
+
+    Enumeration grows connected acyclic edge subsets breadth-first; a
+    subset that closes a cycle stops extending (supersets stay cyclic).
+    """
+    single_edge_keys: List[str] = []
+    larger_keys: Set[str] = set()
+    frontier: List[frozenset] = []
+    seen: Set[frozenset] = set()
+    for u, v, elabel in query.edges():
+        probe = LabeledGraph(
+            [query.vertex_label(u), query.vertex_label(v)], [(0, 1, elabel)]
+        )
+        single_edge_keys.append(tree_canonical_string(probe))
+        es = frozenset({(u, v) if u < v else (v, u)})
+        seen.add(es)
+        frontier.append(es)
+
+    size = 1
+    while frontier and size < max_size:
+        next_frontier: List[frozenset] = []
+        for es in frontier:
+            touched = {w for e in es for w in e}
+            for u in touched:
+                for v in query.neighbors(u):
+                    key = (u, v) if u < v else (v, u)
+                    if key in es:
+                        continue
+                    if v in touched and u in touched:
+                        continue  # would close a cycle
+                    extended = es | {key}
+                    if extended in seen:
+                        continue
+                    seen.add(extended)
+                    sub, _ = query.subgraph_from_edges(extended)
+                    larger_keys.add(tree_canonical_string(sub))
+                    next_frontier.append(extended)
+        frontier = next_frontier
+        size += 1
+    return single_edge_keys, sorted(larger_keys)
+
+
+@dataclass(frozen=True)
+class TreePiConfig:
+    """Build/query knobs (paper defaults in Section 6.1 commentary).
+
+    * ``support`` — the σ(s) function (α, β, η),
+    * ``gamma``   — shrinking parameter γ ∈ [1, 3],
+    * ``delta``   — partition restarts δ; ``None`` uses |E(q)| per query,
+    * ``enable_center_prune`` — ablation switch for Algorithm 2,
+    * ``augment_small_subtrees`` — also intersect the supports of every 1-
+      and 2-edge subtree of the query (cheap canonical lookups; σ(s)=1 at
+      those sizes indexes them all, so this strengthens SF_q at no risk),
+    * ``paths_only`` — restrict features to *path-shaped* trees.  This
+      degrades TreePi into a GraphGrep-flavored index inside the same
+      framework; the A4 ablation uses it to measure what branching tree
+      features buy over paths (the paper's Section 1 argument),
+    * ``direct_verification_max_edges`` — queries at or below this edge
+      count verify candidates with a plain monomorphism search instead of
+      anchored reconstruction: the reconstruction machinery's per-candidate
+      setup cannot amortize on tiny queries (both verifiers are exact;
+      set to 0 to always reconstruct, as the paper describes),
+    * ``max_embeddings_per_graph`` — optional miner memory cap (approximate
+      mining; the default ``None`` keeps the index exact),
+    * ``seed``    — RNG seed for the randomized partition.
+    """
+
+    support: SupportFunction
+    gamma: float = 1.5
+    delta: Optional[int] = None
+    enable_center_prune: bool = True
+    augment_small_subtrees: bool = True
+    paths_only: bool = False
+    feature_index: str = "trie"  # "trie" or "bptree" (Section 4.2.2's note)
+    direct_verification_max_edges: int = 5
+    center_prune_budget: int = 2000
+    max_embeddings_per_graph: Optional[int] = None
+    seed: int = 2007
+
+
+class TreePiIndex:
+    """A built TreePi index over one :class:`GraphDatabase`."""
+
+    def __init__(
+        self,
+        database: GraphDatabase,
+        config: TreePiConfig,
+        features: List[FeatureTree],
+        stats: IndexStats,
+    ):
+        self._db = database
+        self._config = config
+        self._features = features
+        self._lookup: Dict[str, FeatureTree] = {f.key: f for f in features}
+        if config.feature_index == "trie":
+            self._trie = StringTrie()
+        elif config.feature_index == "bptree":
+            from repro.core.bptree import BPlusTree
+
+            self._trie = BPlusTree()
+        else:
+            raise IndexError_(
+                f"unknown feature_index {config.feature_index!r}; "
+                "pick 'trie' or 'bptree'"
+            )
+        for f in features:
+            self._trie.insert(f.key, f.feature_id)
+        self._stats = stats
+        self._build_size = len(database)
+        self._churn = 0
+        # Per-graph BFS distance oracles, shared across queries (graphs are
+        # treated as immutable once indexed; maintenance invalidates).
+        self._oracles: Dict[int, "DistanceOracle"] = {}
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, database: GraphDatabase, config: TreePiConfig) -> "TreePiIndex":
+        """Database preprocessing: mine, shrink, materialize features."""
+        if len(database) == 0:
+            raise IndexError_("cannot build an index over an empty database")
+        start = time.perf_counter()
+        miner = FrequentSubtreeMiner(
+            database,
+            config.support,
+            max_embeddings_per_graph=config.max_embeddings_per_graph,
+        )
+        mined = miner.mine()
+        shrink = shrink_feature_set(mined.patterns, config.gamma)
+        kept = shrink.kept.values()
+        if config.paths_only:
+            kept = [
+                p for p in kept
+                if all(p.graph.degree(v) <= 2 for v in p.graph.vertices())
+            ]
+        features = [
+            FeatureTree.from_mined_pattern(fid, pattern)
+            for fid, pattern in enumerate(kept)
+        ]
+        by_size: Dict[int, int] = {}
+        for f in features:
+            by_size[f.size] = by_size.get(f.size, 0) + 1
+        stats = IndexStats(
+            num_features=len(features),
+            features_by_size=by_size,
+            total_center_locations=sum(f.total_locations() for f in features),
+            build_seconds=time.perf_counter() - start,
+            mining=mined.stats,
+            shrink_removed=shrink.removed_count,
+        )
+        return cls(database, config, features, stats)
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> GraphDatabase:
+        return self._db
+
+    @property
+    def config(self) -> TreePiConfig:
+        return self._config
+
+    @property
+    def stats(self) -> IndexStats:
+        return self._stats
+
+    @property
+    def features(self) -> List[FeatureTree]:
+        return list(self._features)
+
+    def feature_count(self) -> int:
+        return len(self._features)
+
+    def has_feature(self, key: str) -> bool:
+        return key in self._trie
+
+    def feature_by_key(self, key: str) -> Optional[FeatureTree]:
+        return self._lookup.get(key)
+
+    # ------------------------------------------------------------------
+    # query processing (Section 5)
+    # ------------------------------------------------------------------
+    def query(self, query: LabeledGraph) -> QueryResult:
+        """Find ``D_q`` — all database graphs containing ``query``."""
+        if query.num_edges == 0:
+            raise GraphError("query graphs must have at least one edge")
+        if not query.is_connected():
+            raise GraphError("query graphs must be connected")
+
+        phases: Dict[str, float] = {}
+        t0 = time.perf_counter()
+
+        # Fast path: the query itself is an indexed feature tree, so its
+        # exact support set is already materialized (RP's first check).
+        if query.is_tree():
+            feature = self._lookup.get(tree_canonical_string(query))
+            if feature is not None:
+                phases["lookup"] = time.perf_counter() - t0
+                support = feature.support_set()
+                return QueryResult(
+                    matches=support,
+                    direct_hit=True,
+                    partition_size=1,
+                    sfq_size=1,
+                    candidates_after_filter=len(support),
+                    candidates_after_prune=len(support),
+                    phase_seconds=phases,
+                )
+
+        # Every single edge of the query must be an indexed feature (σ(1)=1
+        # and size-1 trees are never shrunk); a miss proves D_q is empty.
+        # Enumerate up to 3-edge subtrees even when α < 3: lookups whose
+        # keys are absent (infrequent or shrunk) are skipped soundly, and
+        # present ones buy the same filter power gIndex gets from its
+        # exhaustive ≤3-edge enumeration.
+        single_edge_keys, larger_keys = _augmentation_keys(
+            query, max(3, self._config.support.alpha)
+        )
+        for key in single_edge_keys:
+            if key not in self._lookup:
+                phases["partition"] = time.perf_counter() - t0
+                return QueryResult(matches=frozenset(), phase_seconds=phases)
+        extra_keys = single_edge_keys + larger_keys
+
+        # Stage-1 filter on the augmentation subtrees alone.  Cheap (pure
+        # lookups), and when it already leaves only a handful of candidates
+        # the partition budget δ can shrink: SF_q diversity buys nothing on
+        # a near-final candidate set, while TP_q for verification needs
+        # only a few restarts.
+        if self._config.augment_small_subtrees:
+            stage1 = set(self._db.graph_ids())
+            for feature in sorted(
+                (self._lookup[k] for k in set(extra_keys) if k in self._lookup),
+                key=lambda f: f.support,
+            ):
+                stage1 &= feature.support_set()
+                if not stage1:
+                    break
+        else:
+            stage1 = set(self._db.graph_ids())
+
+        rng = random.Random(self._config.seed)
+        delta = self._config.delta or max(1, query.num_edges)
+        if len(stage1) <= 8:
+            delta = min(delta, 3)
+        run = run_partitions(query, self._trie.__contains__, delta, rng)
+        phases["partition"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        outcome = filter_candidates(
+            stage1, run.feature_subtrees.values(), self._lookup
+        )
+        phases["filter"] = time.perf_counter() - t0
+        if outcome.definitely_empty:
+            return QueryResult(
+                matches=frozenset(),
+                partition_size=run.best.size,
+                sfq_size=run.sfq_size,
+                candidates_after_filter=len(outcome.candidates),
+                candidates_after_prune=0,
+                phase_seconds=phases,
+            )
+
+        t0 = time.perf_counter()
+        problem = CenterConstraintProblem.from_partition(
+            query, run.best, self._lookup
+        )
+        candidates = sorted(outcome.candidates)
+        if self._config.enable_center_prune:
+            survivors = center_prune(
+                problem,
+                candidates,
+                {gid: self._db[gid] for gid in candidates},
+                oracles=self._oracles,
+                budget_per_graph=self._config.center_prune_budget,
+            )
+        else:
+            survivors = candidates
+        phases["center_prune"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        vstats = VerificationStats()
+        if query.num_edges <= self._config.direct_verification_max_edges:
+            matches = frozenset(
+                gid
+                for gid in survivors
+                if is_subgraph_isomorphic(query, self._db[gid])
+            )
+        else:
+            matches = frozenset(
+                gid
+                for gid in survivors
+                if verify_candidate(
+                    query,
+                    problem,
+                    self._db[gid],
+                    gid,
+                    vstats,
+                    oracle=self._oracles.setdefault(
+                        gid, DistanceOracle(self._db[gid])
+                    ),
+                )
+            )
+        phases["verification"] = time.perf_counter() - t0
+        return QueryResult(
+            matches=matches,
+            partition_size=run.best.size,
+            sfq_size=run.sfq_size,
+            candidates_after_filter=len(outcome.candidates),
+            candidates_after_prune=len(survivors),
+            phase_seconds=phases,
+            verification=vstats,
+        )
+
+    # ------------------------------------------------------------------
+    # maintenance (Section 7.1)
+    # ------------------------------------------------------------------
+    def insert(self, graph: LabeledGraph) -> int:
+        """Add a graph: update support sets and center positions in place.
+
+        Edge types never seen before are materialized as fresh single-edge
+        features first — the completeness floor (σ(1)=1, every database
+        edge indexed) must survive maintenance, otherwise the missing-edge
+        emptiness proof in :meth:`query` would turn false.  By induction no
+        earlier graph can contain a type that was absent from the lookup.
+
+        Existing features are then scanned smallest-first with apriori
+        pruning: a feature whose (feature) subtrees are absent from the new
+        graph cannot occur.
+        """
+        gid = self._db.add(graph)
+        for u, v, elabel in graph.edges():
+            probe = LabeledGraph(
+                [graph.vertex_label(u), graph.vertex_label(v)], [(0, 1, elabel)]
+            )
+            key = tree_canonical_string(probe)
+            if key not in self._lookup:
+                feature = FeatureTree(
+                    feature_id=len(self._features),
+                    tree=probe,
+                    key=key,
+                    center=tree_center(probe),
+                )
+                self._features.append(feature)
+                self._lookup[key] = feature
+                self._trie.insert(key, feature.feature_id)
+        present: Dict[str, List[Dict[int, int]]] = {}
+        for feature in sorted(self._features, key=lambda f: f.size):
+            if feature.size >= 2:
+                prunable = False
+                for sub_key, _ in leaf_removed_subtrees(feature.tree):
+                    if sub_key in self._lookup and sub_key not in present:
+                        prunable = True
+                        break
+                if prunable:
+                    continue
+            embeddings = list(subgraph_monomorphisms(feature.tree, graph))
+            if not embeddings:
+                continue
+            present[feature.key] = embeddings
+            centers = {
+                tuple(sorted(emb[v] for v in feature.center))
+                for emb in embeddings
+            }
+            feature.add_occurrences(gid, centers)
+        self._churn += 1
+        return gid
+
+    def delete(self, graph_id: int) -> None:
+        """Remove a graph and purge its entries from every feature."""
+        self._db.remove(graph_id)
+        for feature in self._features:
+            feature.remove_graph(graph_id)
+        self._oracles.pop(graph_id, None)
+        self._churn += 1
+
+    @property
+    def churn_fraction(self) -> float:
+        """Inserts+deletes since build, relative to the build-time size."""
+        return self._churn / max(1, self._build_size)
+
+    def needs_rebuild(self) -> bool:
+        """Section 7.1's guidance: rebuild after ~25% of graphs changed."""
+        return self.churn_fraction >= 0.25
+
+    def rebuild(self) -> "TreePiIndex":
+        """Reconstruct the feature set from the current database state."""
+        return TreePiIndex.build(self._db, self._config)

@@ -1,0 +1,91 @@
+"""Prefix-trie index over feature canonical strings (Section 4.2.2).
+
+"After the string representation for each feature tree is obtained, a
+prefix tree based indexing is used to index all feature trees."  The trie
+maps canonical strings to feature ids in O(len(string)) and additionally
+supports prefix enumeration, which a flat dict cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+
+class _Node:
+    __slots__ = ("children", "value")
+
+    def __init__(self):
+        self.children: Dict[str, "_Node"] = {}
+        self.value: Optional[int] = None
+
+
+class StringTrie:
+    """A character trie storing ``string -> int`` (feature id) entries."""
+
+    def __init__(self):
+        self._root = _Node()
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def insert(self, key: str, value: int) -> None:
+        """Insert or overwrite the entry for ``key``."""
+        node = self._root
+        for ch in key:
+            node = node.children.setdefault(ch, _Node())
+        if node.value is None:
+            self._size += 1
+        node.value = value
+
+    def get(self, key: str) -> Optional[int]:
+        node = self._root
+        for ch in key:
+            node = node.children.get(ch)
+            if node is None:
+                return None
+        return node.value
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None
+
+    def remove(self, key: str) -> bool:
+        """Remove ``key``; True if it was present.  Prunes dead branches."""
+        path: List[Tuple[_Node, str]] = []
+        node = self._root
+        for ch in key:
+            nxt = node.children.get(ch)
+            if nxt is None:
+                return False
+            path.append((node, ch))
+            node = nxt
+        if node.value is None:
+            return False
+        node.value = None
+        self._size -= 1
+        for parent, ch in reversed(path):
+            child = parent.children[ch]
+            if child.value is None and not child.children:
+                del parent.children[ch]
+            else:
+                break
+        return True
+
+    def items_with_prefix(self, prefix: str) -> Iterator[Tuple[str, int]]:
+        """All ``(key, value)`` entries whose key starts with ``prefix``."""
+        node = self._root
+        for ch in prefix:
+            node = node.children.get(ch)
+            if node is None:
+                return
+        stack: List[Tuple[_Node, str]] = [(node, prefix)]
+        while stack:
+            current, key = stack.pop()
+            if current.value is not None:
+                yield key, current.value
+            for ch in sorted(current.children, reverse=True):
+                stack.append((current.children[ch], key + ch))
+
+    def keys(self) -> Iterator[str]:
+        for key, _ in self.items_with_prefix(""):
+            yield key

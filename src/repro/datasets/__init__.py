@@ -1,0 +1,47 @@
+"""Datasets: synthetic (Kuramochi–Karypis) and AIDS-like chemical generators."""
+
+from repro.datasets.chemical import (
+    ATOMS,
+    functional_group_library,
+    generate_aids_like,
+    generate_molecule,
+)
+from repro.datasets.protein import (
+    FAMILIES,
+    INTERACTIONS,
+    generate_network,
+    generate_protein_networks,
+    pathway_motifs,
+)
+from repro.datasets.queries import (
+    QueryWorkload,
+    extract_query,
+    extract_query_workload,
+    split_by_support,
+)
+from repro.datasets.synthetic import (
+    SyntheticConfig,
+    generate_synthetic_database,
+    poisson,
+    synthetic_database,
+)
+
+__all__ = [
+    "ATOMS",
+    "functional_group_library",
+    "generate_aids_like",
+    "generate_molecule",
+    "FAMILIES",
+    "INTERACTIONS",
+    "generate_network",
+    "generate_protein_networks",
+    "pathway_motifs",
+    "QueryWorkload",
+    "extract_query",
+    "extract_query_workload",
+    "split_by_support",
+    "SyntheticConfig",
+    "generate_synthetic_database",
+    "poisson",
+    "synthetic_database",
+]

@@ -1,0 +1,103 @@
+"""Protein-interaction-network-like generator.
+
+The paper's introduction motivates graph indexing with biological
+pathways and protein interaction networks: sparse graphs with hub
+proteins (heavy-tailed degrees), functional-family vertex labels, and
+interaction-type edge labels.  This generator produces that shape via
+preferential attachment seeded with shared "pathway motif" fragments, so
+frequent-subtree indexing has real structure to find.
+
+Compared to :mod:`repro.datasets.chemical` (valence-bounded, ring-heavy)
+this stresses the opposite regime: unbounded hub degrees make embedding
+counts per pattern much larger, which is exactly where the miner's
+embedding bookkeeping and the verifier's anchored search earn their keep.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.datasets.synthetic import poisson
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+
+#: Functional families used as vertex labels (coarse GO-slim flavor).
+FAMILIES: Sequence[str] = (
+    "kinase", "phosphatase", "receptor", "ligase",
+    "transporter", "tf", "chaperone", "protease",
+)
+
+#: Interaction types used as edge labels.
+INTERACTIONS: Sequence[str] = ("binds", "activates", "inhibits")
+
+
+def pathway_motifs() -> List[LabeledGraph]:
+    """Recurring signaling motifs inserted across networks."""
+    cascade = LabeledGraph(
+        ["receptor", "kinase", "kinase", "tf"],
+        [(0, 1, "activates"), (1, 2, "activates"), (2, 3, "activates")],
+    )
+    feedback = LabeledGraph(
+        ["kinase", "tf", "phosphatase"],
+        [(0, 1, "activates"), (1, 2, "activates"), (2, 0, "inhibits")],
+    )
+    complex_ = LabeledGraph(
+        ["chaperone", "kinase", "receptor"],
+        [(0, 1, "binds"), (0, 2, "binds")],
+    )
+    degradation = LabeledGraph(
+        ["ligase", "protease", "tf"],
+        [(0, 1, "binds"), (1, 2, "inhibits")],
+    )
+    return [cascade, feedback, complex_, degradation]
+
+
+def generate_network(
+    rng: random.Random,
+    target_proteins: int,
+    motifs: Sequence[LabeledGraph],
+) -> LabeledGraph:
+    """One network: preferential attachment + grafted pathway motifs."""
+    graph = LabeledGraph([rng.choice(FAMILIES)])
+    attachment: List[int] = [0]  # vertices repeated by degree
+
+    def attach(new_vertex: int) -> None:
+        hub = rng.choice(attachment)
+        if hub != new_vertex and not graph.has_edge(hub, new_vertex):
+            graph.add_edge(hub, new_vertex, rng.choice(INTERACTIONS))
+            attachment.extend((hub, new_vertex))
+
+    while graph.num_vertices < target_proteins:
+        if motifs and rng.random() < 0.3:
+            motif = rng.choice(motifs)
+            remap = {v: graph.add_vertex(motif.vertex_label(v)) for v in motif.vertices()}
+            for u, v, label in motif.edges():
+                graph.add_edge(remap[u], remap[v], label)
+                attachment.extend((remap[u], remap[v]))
+            attach(remap[0])
+        else:
+            new_vertex = graph.add_vertex(rng.choice(FAMILIES))
+            attach(new_vertex)
+            # Occasional extra interaction toward a hub (creates cycles).
+            if rng.random() < 0.2:
+                attach(new_vertex)
+    return graph
+
+
+def generate_protein_networks(
+    num_graphs: int,
+    avg_proteins: int = 18,
+    seed: int = 17,
+    motifs: Optional[Sequence[LabeledGraph]] = None,
+) -> GraphDatabase:
+    """A database of interaction-network-like graphs (deterministic)."""
+    rng = random.Random(seed)
+    motif_library = list(motifs) if motifs is not None else pathway_motifs()
+    db = GraphDatabase()
+    while len(db) < num_graphs:
+        network = generate_network(
+            rng, poisson(rng, avg_proteins, minimum=4), motif_library
+        )
+        if network.num_edges >= 3 and network.is_connected():
+            db.add(network)
+    return db

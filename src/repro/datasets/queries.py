@@ -1,0 +1,83 @@
+"""Query-workload generation (the paper's ``Q_m`` sets).
+
+Section 6.1: "randomly select graphs from the dataset and then extract a
+connected m-edge subgraph from each graph randomly".  Queries produced
+this way always have support >= 1, matching the paper's setup; the
+low/high-support split used by Figure 10 is applied afterwards from
+ground-truth support sizes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+from repro.graphs.random_subgraph import random_connected_subgraph
+
+
+@dataclass
+class QueryWorkload:
+    """A named set of query graphs of one edge size."""
+
+    name: str
+    num_edges: int
+    queries: List[LabeledGraph]
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+
+def extract_query(
+    database: GraphDatabase, num_edges: int, rng: random.Random, max_tries: int = 200
+) -> LabeledGraph:
+    """One random connected ``num_edges``-edge subgraph of a random DB graph."""
+    graphs = [g for g in database if g.num_edges >= num_edges]
+    if not graphs:
+        raise GraphError(f"no database graph has {num_edges} edges")
+    for _ in range(max_tries):
+        host = rng.choice(graphs)
+        try:
+            return random_connected_subgraph(host, num_edges, rng)
+        except GraphError:
+            continue  # hit a too-small component; try another host
+    raise GraphError(f"could not extract a connected {num_edges}-edge subgraph")
+
+
+def extract_query_workload(
+    database: GraphDatabase,
+    num_edges: int,
+    num_queries: int,
+    seed: int = 101,
+    name: Optional[str] = None,
+) -> QueryWorkload:
+    """The paper's ``Q_m``: ``num_queries`` random connected m-edge queries."""
+    rng = random.Random(seed)
+    queries = [extract_query(database, num_edges, rng) for _ in range(num_queries)]
+    return QueryWorkload(
+        name=name or f"Q{num_edges}", num_edges=num_edges, queries=queries
+    )
+
+
+def split_by_support(
+    workload: QueryWorkload,
+    supports: List[int],
+    threshold: int = 50,
+) -> "tuple[QueryWorkload, QueryWorkload]":
+    """Figure 10's split: low-support (< threshold) vs high-support queries.
+
+    ``supports[i]`` must be the ground-truth ``|D_q|`` of ``workload.queries[i]``.
+    """
+    if len(supports) != len(workload.queries):
+        raise GraphError("supports must align one-to-one with queries")
+    low = [q for q, s in zip(workload.queries, supports) if s < threshold]
+    high = [q for q, s in zip(workload.queries, supports) if s >= threshold]
+    return (
+        QueryWorkload(f"{workload.name}-low", workload.num_edges, low),
+        QueryWorkload(f"{workload.name}-high", workload.num_edges, high),
+    )

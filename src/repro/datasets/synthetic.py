@@ -1,0 +1,179 @@
+"""Synthetic graph generator in the style of Kuramochi & Karypis (ICDE'01).
+
+Section 6.2 generates databases named ``D{n}I{i}T{t}S{s}L{l}``:
+
+* ``n`` graphs, each with a Poisson(``T``) target edge count,
+* built by inserting randomly chosen **seed fragments** (``S`` of them,
+  each with Poisson(``I``) edges) one by one until the target size is
+  reached,
+* vertex labels drawn from ``L`` distinct labels.
+
+Seed insertion fuses a random seed vertex onto an existing graph vertex
+with the same label when possible (creating the shared substructure that
+frequent-pattern indexing exploits); otherwise the fragment is attached
+through a fresh bridging edge so graphs stay connected.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.exceptions import ConfigError
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+
+
+def poisson(rng: random.Random, mean: float, minimum: int = 1) -> int:
+    """Knuth's Poisson sampler, floored at ``minimum`` (means here are small)."""
+    if mean <= 0:
+        return minimum
+    import math
+
+    limit = math.exp(-mean)
+    k, product = 0, 1.0
+    while True:
+        product *= rng.random()
+        if product <= limit:
+            return max(minimum, k)
+        k += 1
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one ``D..I..T..S..L..`` dataset."""
+
+    num_graphs: int
+    avg_seed_edges: int      # I
+    avg_graph_edges: int     # T
+    num_seeds: int           # S
+    num_vertex_labels: int   # L
+    num_edge_labels: int = 2
+    seed: int = 7
+
+    def __post_init__(self):
+        if min(
+            self.num_graphs,
+            self.avg_seed_edges,
+            self.avg_graph_edges,
+            self.num_seeds,
+            self.num_vertex_labels,
+            self.num_edge_labels,
+        ) < 1:
+            raise ConfigError("all synthetic generator parameters must be >= 1")
+
+    @property
+    def name(self) -> str:
+        """The paper's dataset naming, e.g. ``D8kI10T20S1kL40``."""
+
+        def fmt(n: int) -> str:
+            return f"{n // 1000}k" if n % 1000 == 0 and n >= 1000 else str(n)
+
+        return (
+            f"D{fmt(self.num_graphs)}I{self.avg_seed_edges}T{self.avg_graph_edges}"
+            f"S{fmt(self.num_seeds)}L{self.num_vertex_labels}"
+        )
+
+
+def _random_connected_fragment(
+    rng: random.Random,
+    num_edges: int,
+    vertex_labels: Sequence[int],
+    edge_labels: Sequence[int],
+) -> LabeledGraph:
+    """A random connected graph: a random tree plus occasional cycle edges."""
+    extra = rng.randint(0, max(0, num_edges // 4))
+    tree_edges = num_edges - extra
+    n = tree_edges + 1
+    g = LabeledGraph([rng.choice(vertex_labels) for _ in range(n)])
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v), rng.choice(edge_labels))
+    added = 0
+    attempts = 0
+    while added < extra and attempts < 20 * extra:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, rng.choice(edge_labels))
+            added += 1
+    return g
+
+
+def _insert_fragment(
+    graph: LabeledGraph, fragment: LabeledGraph, rng: random.Random
+) -> None:
+    """Insert ``fragment`` into ``graph``, fusing on one same-label vertex."""
+    if graph.num_vertices == 0:
+        remap = {}
+        for v in fragment.vertices():
+            remap[v] = graph.add_vertex(fragment.vertex_label(v))
+        for u, v, label in fragment.edges():
+            graph.add_edge(remap[u], remap[v], label)
+        return
+
+    original_count = graph.num_vertices
+    fuse_from = rng.randrange(fragment.num_vertices)
+    fuse_label = fragment.vertex_label(fuse_from)
+    same_label = [v for v in graph.vertices() if graph.vertex_label(v) == fuse_label]
+
+    remap = {}
+    if same_label:
+        remap[fuse_from] = rng.choice(same_label)
+    for v in fragment.vertices():
+        if v not in remap:
+            remap[v] = graph.add_vertex(fragment.vertex_label(v))
+    for u, v, label in fragment.edges():
+        if not graph.has_edge(remap[u], remap[v]):
+            graph.add_edge(remap[u], remap[v], label)
+    if not same_label:
+        # No fusion point: bridge the fragment to a pre-existing vertex so
+        # the graph stays connected.
+        anchor = rng.randrange(original_count)
+        if not graph.has_edge(anchor, remap[fuse_from]):
+            graph.add_edge(anchor, remap[fuse_from], 1)
+
+
+def generate_synthetic_database(config: SyntheticConfig) -> GraphDatabase:
+    """Generate the database described by ``config`` (deterministic in seed)."""
+    rng = random.Random(config.seed)
+    vertex_labels = list(range(config.num_vertex_labels))
+    edge_labels = list(range(1, config.num_edge_labels + 1))
+
+    seeds: List[LabeledGraph] = [
+        _random_connected_fragment(
+            rng, poisson(rng, config.avg_seed_edges), vertex_labels, edge_labels
+        )
+        for _ in range(config.num_seeds)
+    ]
+
+    db = GraphDatabase()
+    for _ in range(config.num_graphs):
+        target_edges = poisson(rng, config.avg_graph_edges)
+        graph = LabeledGraph()
+        while graph.num_edges < target_edges:
+            _insert_fragment(graph, rng.choice(seeds), rng)
+        db.add(graph)
+    return db
+
+
+def synthetic_database(
+    num_graphs: int,
+    avg_seed_edges: int = 10,
+    avg_graph_edges: int = 20,
+    num_seeds: int = 1000,
+    num_vertex_labels: int = 40,
+    num_edge_labels: int = 2,
+    seed: int = 7,
+) -> GraphDatabase:
+    """Convenience wrapper matching the paper's parameter names."""
+    return generate_synthetic_database(
+        SyntheticConfig(
+            num_graphs=num_graphs,
+            avg_seed_edges=avg_seed_edges,
+            avg_graph_edges=avg_graph_edges,
+            num_seeds=num_seeds,
+            num_vertex_labels=num_vertex_labels,
+            num_edge_labels=num_edge_labels,
+            seed=seed,
+        )
+    )

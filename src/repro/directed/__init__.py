@@ -1,0 +1,32 @@
+"""Directed-graph extension of TreePi (Section 7.2) via subdivision reduction."""
+
+from repro.directed.digraph import DirectedLabeledGraph
+from repro.directed.datasets import (
+    extract_directed_query,
+    generate_document,
+    generate_xml_like,
+)
+from repro.directed.index import DirectedGraphDatabase, DirectedTreePiIndex
+from repro.directed.isomorphism import (
+    directed_isomorphic,
+    directed_monomorphisms,
+    is_directed_subgraph_isomorphic,
+)
+from repro.directed.reduction import MIDPOINT, SRC, TGT, subdivide, subdivision_sizes
+
+__all__ = [
+    "DirectedLabeledGraph",
+    "extract_directed_query",
+    "generate_document",
+    "generate_xml_like",
+    "DirectedGraphDatabase",
+    "DirectedTreePiIndex",
+    "directed_isomorphic",
+    "directed_monomorphisms",
+    "is_directed_subgraph_isomorphic",
+    "MIDPOINT",
+    "SRC",
+    "TGT",
+    "subdivide",
+    "subdivision_sizes",
+]

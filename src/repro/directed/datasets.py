@@ -1,0 +1,102 @@
+"""Directed benchmark data: XML/citation-flavored labeled digraphs.
+
+The paper motivates directed support with XML documents (Section 7.2);
+this generator produces shallow rooted DAG-ish documents — an element
+tree with typed tags, attribute leaves, and occasional cross-references —
+plus a query extractor mirroring :mod:`repro.datasets.queries`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from repro.directed.digraph import DirectedLabeledGraph
+from repro.directed.index import DirectedGraphDatabase
+from repro.exceptions import GraphError
+
+ELEMENT_TAGS = ("article", "section", "para", "list", "item", "table", "figure")
+ATTRIBUTE_TAGS = ("id", "class", "lang")
+CHILD, ATTR, REF = "child", "attr", "ref"
+
+
+def generate_document(
+    rng: random.Random, target_elements: int
+) -> DirectedLabeledGraph:
+    """One XML-like document graph with ~``target_elements`` element nodes."""
+    doc = DirectedLabeledGraph()
+    root = doc.add_vertex("article")
+    elements: List[int] = [root]
+    while len(elements) < target_elements:
+        parent = rng.choice(elements)
+        tag = rng.choice(ELEMENT_TAGS[1:])
+        child = doc.add_vertex(tag)
+        doc.add_edge(parent, child, CHILD)
+        elements.append(child)
+        if rng.random() < 0.35:
+            attribute = doc.add_vertex(rng.choice(ATTRIBUTE_TAGS))
+            doc.add_edge(child, attribute, ATTR)
+    # A few cross-references between elements (id/idref style links).
+    for _ in range(rng.randint(0, max(1, target_elements // 5))):
+        a, b = rng.sample(elements, 2)
+        if not doc.has_edge(a, b) and not doc.has_edge(b, a):
+            doc.add_edge(a, b, REF)
+    return doc
+
+
+def generate_xml_like(
+    num_graphs: int, avg_elements: int = 10, seed: int = 5
+) -> DirectedGraphDatabase:
+    """A database of XML-like directed graphs (deterministic in ``seed``)."""
+    from repro.datasets.synthetic import poisson
+
+    rng = random.Random(seed)
+    db = DirectedGraphDatabase()
+    while len(db) < num_graphs:
+        doc = generate_document(rng, poisson(rng, avg_elements, minimum=3))
+        if doc.num_edges >= 2:
+            db.add(doc)
+    return db
+
+
+def extract_directed_query(
+    database: DirectedGraphDatabase,
+    num_edges: int,
+    rng: random.Random,
+    max_tries: int = 200,
+) -> DirectedLabeledGraph:
+    """A random weakly-connected ``num_edges``-edge sub-digraph of a DB graph."""
+    hosts = [g for g in database if g.num_edges >= num_edges]
+    if not hosts:
+        raise GraphError(f"no database graph has {num_edges} edges")
+    for _ in range(max_tries):
+        host = rng.choice(hosts)
+        all_edges = list(host.edges())
+        start = rng.choice(all_edges)
+        chosen = {(start[0], start[1])}
+        labels = {(start[0], start[1]): start[2]}
+        touched = {start[0], start[1]}
+        stuck = False
+        while len(chosen) < num_edges:
+            frontier = [
+                (u, v, l)
+                for u, v, l in all_edges
+                if (u, v) not in chosen and (u in touched or v in touched)
+            ]
+            if not frontier:
+                stuck = True
+                break
+            u, v, l = rng.choice(frontier)
+            chosen.add((u, v))
+            labels[(u, v)] = l
+            touched.update((u, v))
+        if stuck:
+            continue
+        remap = {old: new for new, old in enumerate(sorted(touched))}
+        query = DirectedLabeledGraph(
+            [host.vertex_label(old) for old in sorted(touched)]
+        )
+        for (u, v), l in labels.items():
+            query.add_edge(remap[u], remap[v], l)
+        return query
+    raise GraphError(f"could not extract a {num_edges}-edge directed query")

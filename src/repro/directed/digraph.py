@@ -1,0 +1,171 @@
+"""Directed labeled graphs — the Section 7.2 extension's data model.
+
+XML documents, citation networks, and metabolic pathways are directed;
+Section 7.2 sketches how TreePi adapts.  :class:`DirectedLabeledGraph`
+mirrors :class:`repro.graphs.LabeledGraph` with oriented edges: each edge
+``u → v`` is stored once, with out- and in-adjacency kept separately.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import GraphError
+
+VertexLabel = Hashable
+EdgeLabel = Hashable
+
+
+class DirectedLabeledGraph:
+    """A directed labeled graph with integer vertices ``0..n-1``.
+
+    At most one edge is allowed per ordered pair, and antiparallel pairs
+    (``u → v`` alongside ``v → u``) are supported.
+    """
+
+    __slots__ = ("_vlabels", "_out", "_in", "_num_edges", "graph_id")
+
+    def __init__(
+        self,
+        vertex_labels: Sequence[VertexLabel] = (),
+        edges: Iterable[Tuple[int, int, EdgeLabel]] = (),
+        graph_id: Optional[int] = None,
+    ):
+        self._vlabels: List[VertexLabel] = list(vertex_labels)
+        self._out: List[Dict[int, EdgeLabel]] = [{} for _ in self._vlabels]
+        self._in: List[Dict[int, EdgeLabel]] = [{} for _ in self._vlabels]
+        self._num_edges = 0
+        self.graph_id = graph_id
+        for u, v, label in edges:
+            self.add_edge(u, v, label)
+
+    # ------------------------------------------------------------------
+    def add_vertex(self, label: VertexLabel) -> int:
+        self._vlabels.append(label)
+        self._out.append({})
+        self._in.append({})
+        return len(self._vlabels) - 1
+
+    def add_edge(self, source: int, target: int, label: EdgeLabel) -> None:
+        """Add the directed edge ``source → target``."""
+        self._check_vertex(source)
+        self._check_vertex(target)
+        if source == target:
+            raise GraphError(f"self-loops are not supported (vertex {source})")
+        if target in self._out[source]:
+            raise GraphError(f"duplicate directed edge ({source} -> {target})")
+        self._out[source][target] = label
+        self._in[target][source] = label
+        self._num_edges += 1
+
+    def _check_vertex(self, u: int) -> None:
+        if not 0 <= u < len(self._vlabels):
+            raise GraphError(f"unknown vertex {u} (graph has {len(self._vlabels)} vertices)")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._vlabels)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._vlabels))
+
+    def vertex_label(self, u: int) -> VertexLabel:
+        self._check_vertex(u)
+        return self._vlabels[u]
+
+    def vertex_labels(self) -> Tuple[VertexLabel, ...]:
+        return tuple(self._vlabels)
+
+    def has_edge(self, source: int, target: int) -> bool:
+        if not (0 <= source < len(self._vlabels) and 0 <= target < len(self._vlabels)):
+            return False
+        return target in self._out[source]
+
+    def edge_label(self, source: int, target: int) -> EdgeLabel:
+        self._check_vertex(source)
+        try:
+            return self._out[source][target]
+        except KeyError:
+            raise GraphError(f"no edge {source} -> {target}") from None
+
+    def out_items(self, u: int) -> Iterator[Tuple[int, EdgeLabel]]:
+        self._check_vertex(u)
+        return iter(self._out[u].items())
+
+    def in_items(self, u: int) -> Iterator[Tuple[int, EdgeLabel]]:
+        self._check_vertex(u)
+        return iter(self._in[u].items())
+
+    def out_degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._out[u])
+
+    def in_degree(self, u: int) -> int:
+        self._check_vertex(u)
+        return len(self._in[u])
+
+    def degree(self, u: int) -> int:
+        return self.out_degree(u) + self.in_degree(u)
+
+    def edges(self) -> Iterator[Tuple[int, int, EdgeLabel]]:
+        """Iterate directed edges as ``(source, target, label)``."""
+        for u, targets in enumerate(self._out):
+            for v, label in targets.items():
+                yield (u, v, label)
+
+    # ------------------------------------------------------------------
+    def is_weakly_connected(self) -> bool:
+        """Connectivity of the underlying undirected skeleton."""
+        n = len(self._vlabels)
+        if n == 0:
+            return True
+        seen = [False] * n
+        stack = [0]
+        seen[0] = True
+        count = 1
+        while stack:
+            u = stack.pop()
+            for v in list(self._out[u]) + list(self._in[u]):
+                if not seen[v]:
+                    seen[v] = True
+                    count += 1
+                    stack.append(v)
+        return count == n
+
+    def copy(self, graph_id: Optional[int] = None) -> "DirectedLabeledGraph":
+        g = DirectedLabeledGraph(
+            self._vlabels, graph_id=self.graph_id if graph_id is None else graph_id
+        )
+        for u, v, label in self.edges():
+            g.add_edge(u, v, label)
+        return g
+
+    def relabeled(self, permutation: Sequence[int]) -> "DirectedLabeledGraph":
+        """An isomorphic copy with old vertex ``u`` renamed ``permutation[u]``."""
+        n = len(self._vlabels)
+        if sorted(permutation) != list(range(n)):
+            raise GraphError("relabeled() requires a permutation of all vertices")
+        labels: List[VertexLabel] = [None] * n
+        for old, new in enumerate(permutation):
+            labels[new] = self._vlabels[old]
+        g = DirectedLabeledGraph(labels, graph_id=self.graph_id)
+        for u, v, label in self.edges():
+            g.add_edge(permutation[u], permutation[v], label)
+        return g
+
+    def structure_equal(self, other: "DirectedLabeledGraph") -> bool:
+        if self._vlabels != other._vlabels or self._num_edges != other._num_edges:
+            return False
+        return all(
+            other.has_edge(u, v) and other.edge_label(u, v) == label
+            for u, v, label in self.edges()
+        )
+
+    def __repr__(self) -> str:
+        gid = f" id={self.graph_id}" if self.graph_id is not None else ""
+        return f"<DirectedLabeledGraph{gid} |V|={self.num_vertices} |E|={self.num_edges}>"

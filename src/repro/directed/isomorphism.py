@@ -1,0 +1,142 @@
+"""Directed labeled (sub)graph isomorphism.
+
+The directed analogue of :mod:`repro.graphs.isomorphism`: a monomorphism
+must map every pattern edge ``u → v`` onto a target edge
+``f(u) → f(v)`` with the same label — orientation included.  Used by the
+directed sequential scan (the ground-truth oracle for the Section 7.2
+extension) and by tests cross-checking the subdivision reduction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.directed.digraph import DirectedLabeledGraph
+
+
+def _matching_order(pattern: DirectedLabeledGraph) -> List[int]:
+    """Order vertices so each one touches the prefix through some edge."""
+    n = pattern.num_vertices
+    order: List[int] = []
+    placed = set()
+    while len(order) < n:
+        frontier = [
+            v
+            for v in pattern.vertices()
+            if v not in placed
+            and any(
+                w in placed
+                for w, _ in list(pattern.out_items(v)) + list(pattern.in_items(v))
+            )
+        ]
+        pool = frontier or [v for v in pattern.vertices() if v not in placed]
+        nxt = max(pool, key=lambda v: (pattern.degree(v), -v))
+        order.append(nxt)
+        placed.add(nxt)
+    return order
+
+
+def directed_monomorphisms(
+    pattern: DirectedLabeledGraph,
+    target: DirectedLabeledGraph,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[int, int]]:
+    """Yield injective direction- and label-preserving maps."""
+    pn = pattern.num_vertices
+    if pn == 0 or pn > target.num_vertices or pattern.num_edges > target.num_edges:
+        return
+
+    order = _matching_order(pattern)
+    position = {v: i for i, v in enumerate(order)}
+    # For each vertex, its already-ordered neighbors with direction flags.
+    earlier: List[List[Tuple[int, object, bool]]] = []
+    for i, v in enumerate(order):
+        entries: List[Tuple[int, object, bool]] = []
+        for w, lbl in pattern.out_items(v):  # v -> w
+            if position[w] < i:
+                entries.append((w, lbl, True))
+        for w, lbl in pattern.in_items(v):  # w -> v
+            if position[w] < i:
+                entries.append((w, lbl, False))
+        earlier.append(entries)
+
+    label_buckets: Dict[object, List[int]] = {}
+    for tv in target.vertices():
+        label_buckets.setdefault(target.vertex_label(tv), []).append(tv)
+
+    mapping: Dict[int, int] = {}
+    used = set()
+    emitted = 0
+
+    def candidates(i: int) -> Iterator[int]:
+        pv = order[i]
+        want = pattern.vertex_label(pv)
+        anchors = earlier[i]
+        if anchors:
+            aw, albl, outgoing = anchors[0]
+            image = mapping[aw]
+            # pv -> aw (outgoing=True means pattern edge pv->aw): candidates
+            # are in-neighbors of image; otherwise out-neighbors.
+            pool = target.in_items(image) if outgoing else target.out_items(image)
+            for tv, tlbl in pool:
+                if tv not in used and tlbl == albl and target.vertex_label(tv) == want:
+                    yield tv
+        else:
+            for tv in label_buckets.get(want, ()):
+                if tv not in used:
+                    yield tv
+
+    def feasible(i: int, tv: int) -> bool:
+        pv = order[i]
+        for pw, lbl, outgoing in earlier[i]:
+            tw = mapping[pw]
+            if outgoing:
+                if not target.has_edge(tv, tw) or target.edge_label(tv, tw) != lbl:
+                    return False
+            else:
+                if not target.has_edge(tw, tv) or target.edge_label(tw, tv) != lbl:
+                    return False
+        # Degree pruning.
+        if target.out_degree(tv) < pattern.out_degree(pv):
+            return False
+        if target.in_degree(tv) < pattern.in_degree(pv):
+            return False
+        return True
+
+    def backtrack(i: int) -> Iterator[Dict[int, int]]:
+        nonlocal emitted
+        if i == pn:
+            emitted += 1
+            yield dict(mapping)
+            return
+        pv = order[i]
+        for tv in candidates(i):
+            if not feasible(i, tv):
+                continue
+            mapping[pv] = tv
+            used.add(tv)
+            yield from backtrack(i + 1)
+            used.discard(tv)
+            del mapping[pv]
+            if limit is not None and emitted >= limit:
+                return
+
+    yield from backtrack(0)
+
+
+def is_directed_subgraph_isomorphic(
+    pattern: DirectedLabeledGraph, target: DirectedLabeledGraph
+) -> bool:
+    """Directed analogue of Definition 3: does ``pattern`` embed in ``target``?"""
+    for _ in directed_monomorphisms(pattern, target, limit=1):
+        return True
+    return False
+
+
+def directed_isomorphic(
+    g1: DirectedLabeledGraph, g2: DirectedLabeledGraph
+) -> bool:
+    """Exact directed isomorphism (equal sizes + monomorphism)."""
+    if g1.num_vertices != g2.num_vertices or g1.num_edges != g2.num_edges:
+        return False
+    return is_directed_subgraph_isomorphic(g1, g2)

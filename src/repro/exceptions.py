@@ -1,0 +1,32 @@
+"""Exception hierarchy for the TreePi reproduction.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single ``except``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or access (unknown vertex, duplicate edge...)."""
+
+
+class NotATreeError(GraphError):
+    """An operation that requires a tree was given a non-tree graph."""
+
+    def __init__(self, reason: str = "graph is not a tree"):
+        super().__init__(reason)
+
+
+class SerializationError(ReproError):
+    """Malformed input while parsing the text graph-database format."""
+
+
+class IndexError_(ReproError):
+    """Index construction or maintenance failure (e.g. querying an empty index)."""
+
+
+class ConfigError(ReproError):
+    """Invalid parameter combination (e.g. a support function with eta < alpha)."""

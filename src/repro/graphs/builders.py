@@ -1,0 +1,80 @@
+"""Convenience constructors and (optional) networkx interop.
+
+networkx is not a runtime dependency of the library; it is imported lazily
+so test suites can cross-check our matcher against
+``networkx.algorithms.isomorphism.GraphMatcher``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.exceptions import GraphError
+from repro.graphs.graph import EdgeLabel, LabeledGraph, VertexLabel
+
+
+def graph_from_edgelist(
+    vertex_labels: Sequence[VertexLabel],
+    edges: Iterable[Tuple[int, int, EdgeLabel]],
+    graph_id: int = None,
+) -> LabeledGraph:
+    """Build a graph from labels and ``(u, v, label)`` triples."""
+    return LabeledGraph(vertex_labels, edges, graph_id=graph_id)
+
+
+def path_graph(vertex_labels: Sequence[VertexLabel], edge_label: EdgeLabel = 1) -> LabeledGraph:
+    """A simple path ``0 - 1 - ... - n-1`` with one uniform edge label."""
+    g = LabeledGraph(vertex_labels)
+    for u in range(len(vertex_labels) - 1):
+        g.add_edge(u, u + 1, edge_label)
+    return g
+
+
+def star_graph(
+    center_label: VertexLabel,
+    leaf_labels: Sequence[VertexLabel],
+    edge_label: EdgeLabel = 1,
+) -> LabeledGraph:
+    """A star: vertex 0 is the hub, vertices ``1..k`` are leaves."""
+    g = LabeledGraph([center_label, *leaf_labels])
+    for leaf in range(1, len(leaf_labels) + 1):
+        g.add_edge(0, leaf, edge_label)
+    return g
+
+
+def cycle_graph(vertex_labels: Sequence[VertexLabel], edge_label: EdgeLabel = 1) -> LabeledGraph:
+    """A simple cycle over ``len(vertex_labels) >= 3`` vertices."""
+    n = len(vertex_labels)
+    if n < 3:
+        raise GraphError("cycle_graph needs at least 3 vertices")
+    g = path_graph(vertex_labels, edge_label)
+    g.add_edge(n - 1, 0, edge_label)
+    return g
+
+
+def to_networkx(graph: LabeledGraph):
+    """Convert to an ``networkx.Graph`` with ``label`` node/edge attributes."""
+    import networkx as nx
+
+    nxg = nx.Graph()
+    for u in graph.vertices():
+        nxg.add_node(u, label=graph.vertex_label(u))
+    for u, v, label in graph.edges():
+        nxg.add_edge(u, v, label=label)
+    return nxg
+
+
+def from_networkx(nxg, graph_id: int = None) -> LabeledGraph:
+    """Convert from an ``networkx.Graph`` carrying ``label`` attributes.
+
+    Nodes are renumbered ``0..n-1`` in sorted node order; missing labels
+    default to ``None`` (vertices) and ``1`` (edges).
+    """
+    nodes = sorted(nxg.nodes())
+    remap = {node: i for i, node in enumerate(nodes)}
+    g = LabeledGraph(
+        [nxg.nodes[node].get("label") for node in nodes], graph_id=graph_id
+    )
+    for u, v, data in nxg.edges(data=True):
+        g.add_edge(remap[u], remap[v], data.get("label", 1))
+    return g

@@ -1,0 +1,207 @@
+"""Labeled (sub)graph isomorphism via VF2-style backtracking.
+
+The paper's containment relation (Definition 3) is edge-subgraph
+isomorphism: ``q ⊆ g`` iff some subgraph of ``g`` is isomorphic to ``q``.
+Operationally that is a *monomorphism*: an injective map of query vertices
+into graph vertices that preserves vertex labels and maps every query edge
+onto a graph edge with the same label (extra graph edges are allowed).
+
+This module provides
+
+* :func:`subgraph_monomorphisms` — generate all monomorphisms, optionally
+  seeded with a partial assignment (used by center-anchored verification),
+* :func:`is_subgraph_isomorphic` / :func:`count_embeddings`,
+* :func:`are_isomorphic` and :func:`automorphisms` (Section 5.3.1 builds
+  canonical reconstruction forms from automorphism groups).
+
+The matcher orders pattern vertices connectivity-first (each vertex after
+the first is adjacent to an earlier one whenever the pattern is connected)
+so candidates can be drawn from neighborhoods of already-matched images
+instead of the whole graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.graphs.graph import LabeledGraph
+
+
+def _matching_order(pattern: LabeledGraph, seeded: Tuple[int, ...]) -> List[int]:
+    """Order pattern vertices so each one touches the already-ordered prefix.
+
+    Seeded vertices come first; ties are broken toward higher degree, which
+    tends to fail early on non-matching graphs.
+    """
+    n = pattern.num_vertices
+    order: List[int] = list(seeded)
+    placed = set(order)
+    while len(order) < n:
+        frontier = [
+            v
+            for v in pattern.vertices()
+            if v not in placed and any(w in placed for w in pattern.neighbors(v))
+        ]
+        pool = frontier or [v for v in pattern.vertices() if v not in placed]
+        nxt = max(pool, key=lambda v: (pattern.degree(v), -v))
+        order.append(nxt)
+        placed.add(nxt)
+    return order
+
+
+def subgraph_monomorphisms(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    seed: Optional[Dict[int, int]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Dict[int, int]]:
+    """Yield injective label-preserving maps of ``pattern`` into ``target``.
+
+    Parameters
+    ----------
+    seed:
+        Partial assignment ``pattern_vertex -> target_vertex`` that every
+        yielded mapping must extend (center anchoring in verification).
+    limit:
+        Stop after this many embeddings.
+
+    Yields fresh dictionaries; callers may keep or mutate them freely.
+    """
+    pn = pattern.num_vertices
+    if pn == 0 or pn > target.num_vertices or pattern.num_edges > target.num_edges:
+        return
+    seed = seed or {}
+
+    # Validate the seed up front: labels, degrees and internal edges.
+    used_targets = set()
+    for pv, tv in seed.items():
+        if pattern.vertex_label(pv) != target.vertex_label(tv):
+            return
+        if pattern.degree(pv) > target.degree(tv):
+            return
+        if tv in used_targets:
+            return
+        used_targets.add(tv)
+    for pv, tv in seed.items():
+        for pw, tw in seed.items():
+            if pv < pw and pattern.has_edge(pv, pw):
+                if not target.has_edge(tv, tw):
+                    return
+                if pattern.edge_label(pv, pw) != target.edge_label(tv, tw):
+                    return
+
+    order = _matching_order(pattern, tuple(seed))
+
+    # Direct views of the internal adjacency/label structures: this is the
+    # hottest loop in the library, and the accessor methods' bounds checks
+    # dominate it otherwise.  Read-only use.
+    t_adj = target._adj
+    t_labels = target._vlabels
+    p_labels = pattern._vlabels
+
+    # Pre-bucket target vertices by label for unseeded, unconnected starts.
+    label_buckets: Dict[object, List[int]] = {}
+    for tv, lbl in enumerate(t_labels):
+        label_buckets.setdefault(lbl, []).append(tv)
+
+    mapping: Dict[int, int] = dict(seed)
+    used = set(seed.values())
+    emitted = 0
+
+    # Pattern adjacency restricted to already-ordered earlier vertices.
+    earlier_nbrs: List[List[Tuple[int, object]]] = []
+    position = {v: i for i, v in enumerate(order)}
+    for i, v in enumerate(order):
+        earlier_nbrs.append(
+            [(w, lbl) for w, lbl in pattern._adj[v].items() if position[w] < i]
+        )
+    want_labels = [p_labels[v] for v in order]
+    want_degrees = [len(pattern._adj[v]) for v in order]
+
+    def candidates(i: int) -> Iterator[int]:
+        want_label = want_labels[i]
+        want_degree = want_degrees[i]
+        anchors = earlier_nbrs[i]
+        if anchors:
+            # Draw from the image neighborhood of one matched anchor.
+            aw, albl = anchors[0]
+            for tv, tlbl in t_adj[mapping[aw]].items():
+                if (
+                    tv not in used
+                    and tlbl == albl
+                    and t_labels[tv] == want_label
+                    and len(t_adj[tv]) >= want_degree
+                ):
+                    yield tv
+        else:
+            for tv in label_buckets.get(want_label, ()):
+                if tv not in used and len(t_adj[tv]) >= want_degree:
+                    yield tv
+
+    missing = object()  # sentinel: None is a legal edge label
+
+    def feasible(i: int, tv: int) -> bool:
+        row = t_adj[tv]
+        for pw, lbl in earlier_nbrs[i]:
+            if row.get(mapping[pw], missing) != lbl:
+                return False
+        return True
+
+    start = len(seed)
+
+    def backtrack(i: int) -> Iterator[Dict[int, int]]:
+        nonlocal emitted
+        if i == pn:
+            emitted += 1
+            yield dict(mapping)
+            return
+        pv = order[i]
+        for tv in candidates(i):
+            if not feasible(i, tv):
+                continue
+            mapping[pv] = tv
+            used.add(tv)
+            yield from backtrack(i + 1)
+            used.discard(tv)
+            del mapping[pv]
+            if limit is not None and emitted >= limit:
+                return
+
+    yield from backtrack(start)
+
+
+def is_subgraph_isomorphic(pattern: LabeledGraph, target: LabeledGraph) -> bool:
+    """``pattern ⊆ target`` in the sense of Definition 3."""
+    for _ in subgraph_monomorphisms(pattern, target, limit=1):
+        return True
+    return False
+
+
+def count_embeddings(
+    pattern: LabeledGraph, target: LabeledGraph, limit: Optional[int] = None
+) -> int:
+    """Number of monomorphisms of ``pattern`` into ``target`` (capped by ``limit``)."""
+    return sum(1 for _ in subgraph_monomorphisms(pattern, target, limit=limit))
+
+
+def are_isomorphic(g1: LabeledGraph, g2: LabeledGraph) -> bool:
+    """Exact isomorphism test (Definition 2).
+
+    With equal vertex and edge counts, any monomorphism is bijective and
+    must hit every edge of ``g2``, so it is a full isomorphism.
+    """
+    if g1.num_vertices != g2.num_vertices or g1.num_edges != g2.num_edges:
+        return False
+    if g1.label_multiset_signature() != g2.label_multiset_signature():
+        return False
+    return is_subgraph_isomorphic(g1, g2)
+
+
+def automorphisms(graph: LabeledGraph) -> List[Dict[int, int]]:
+    """All label-preserving automorphisms of ``graph``.
+
+    The identity is always included (for a non-empty graph).  Feature trees
+    are small, so full enumeration is cheap; Section 5.3.1 uses these to
+    minimize over symmetric renamings when building reconstruction forms.
+    """
+    return list(subgraph_monomorphisms(graph, graph))

@@ -1,0 +1,136 @@
+"""Descriptive statistics for graphs and graph databases.
+
+Dataset characterization drives every tuning decision in this library
+(σ thresholds, γ, η are all chosen against database shape — Section
+4.1.3's heuristics need ``s̄_D``, label diversity drives Figure 13's
+difficulty).  This module computes those shape numbers once, uniformly,
+for generators, the CLI's ``info`` command, and tests.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+
+
+def label_entropy(counts: Counter) -> float:
+    """Shannon entropy (bits) of a label multiset; 0 for uniform/empty."""
+    total = sum(counts.values())
+    if total == 0:
+        return 0.0
+    entropy = 0.0
+    for count in counts.values():
+        p = count / total
+        entropy -= p * math.log2(p)
+    return entropy
+
+
+def degree_histogram(graph: LabeledGraph) -> Dict[int, int]:
+    """``degree -> vertex count`` for one graph."""
+    hist: Dict[int, int] = {}
+    for v in graph.vertices():
+        d = graph.degree(v)
+        hist[d] = hist.get(d, 0) + 1
+    return hist
+
+
+def graph_density(graph: LabeledGraph) -> float:
+    """``|E| / C(|V|, 2)`` — 0 for graphs with fewer than two vertices."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2)
+
+
+def cyclomatic_number(graph: LabeledGraph) -> int:
+    """``|E| - |V| + #components`` — 0 exactly for forests."""
+    components = len(graph.connected_components())
+    return graph.num_edges - graph.num_vertices + components
+
+
+@dataclass
+class DatabaseProfile:
+    """Shape summary of one graph database."""
+
+    num_graphs: int
+    total_vertices: int
+    total_edges: int
+    avg_vertices: float
+    avg_edges: float
+    max_degree: int
+    avg_density: float
+    tree_fraction: float            # graphs that are trees
+    vertex_label_counts: Counter
+    edge_label_counts: Counter
+
+    @property
+    def num_vertex_labels(self) -> int:
+        return len(self.vertex_label_counts)
+
+    @property
+    def num_edge_labels(self) -> int:
+        return len(self.edge_label_counts)
+
+    @property
+    def vertex_label_entropy(self) -> float:
+        return label_entropy(self.vertex_label_counts)
+
+    @property
+    def edge_label_entropy(self) -> float:
+        return label_entropy(self.edge_label_counts)
+
+    def dominant_vertex_labels(self, k: int = 3) -> List[Tuple[object, int]]:
+        return self.vertex_label_counts.most_common(k)
+
+    def describe(self) -> str:
+        """A compact multi-line human-readable summary."""
+        lines = [
+            f"{self.num_graphs} graphs, avg {self.avg_vertices:.1f} vertices /"
+            f" {self.avg_edges:.1f} edges",
+            f"labels: {self.num_vertex_labels} vertex"
+            f" (entropy {self.vertex_label_entropy:.2f} bits),"
+            f" {self.num_edge_labels} edge"
+            f" (entropy {self.edge_label_entropy:.2f} bits)",
+            f"max degree {self.max_degree}, avg density {self.avg_density:.3f},"
+            f" {self.tree_fraction:.0%} trees",
+        ]
+        return "\n".join(lines)
+
+
+def profile_database(db: GraphDatabase) -> DatabaseProfile:
+    """Compute the :class:`DatabaseProfile` of ``db`` in one pass."""
+    vertex_labels: Counter = Counter()
+    edge_labels: Counter = Counter()
+    total_vertices = total_edges = 0
+    max_degree = 0
+    density_sum = 0.0
+    trees = 0
+    n = 0
+    for graph in db:
+        n += 1
+        total_vertices += graph.num_vertices
+        total_edges += graph.num_edges
+        vertex_labels.update(graph.vertex_labels())
+        edge_labels.update(label for _, _, label in graph.edges())
+        if graph.num_vertices:
+            max_degree = max(
+                max_degree, max(graph.degree(v) for v in graph.vertices())
+            )
+        density_sum += graph_density(graph)
+        trees += graph.is_tree()
+    return DatabaseProfile(
+        num_graphs=n,
+        total_vertices=total_vertices,
+        total_edges=total_edges,
+        avg_vertices=total_vertices / n if n else 0.0,
+        avg_edges=total_edges / n if n else 0.0,
+        max_degree=max_degree,
+        avg_density=density_sum / n if n else 0.0,
+        tree_fraction=trees / n if n else 0.0,
+        vertex_label_counts=vertex_labels,
+        edge_label_counts=edge_labels,
+    )

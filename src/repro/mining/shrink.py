@@ -1,0 +1,95 @@
+"""Feature-set shrinking by the redundancy ratio γ (Section 4.1.2).
+
+For a frequent tree ``r`` with proper subtrees ``r_1..r_n``, anti-monotone
+support gives ``|⋂ D_{r_i}| >= |D_r|``.  When the ratio
+``|⋂ D_{r_i}| / |D_r|`` is close to 1, the subtrees alone already pin
+down ``r``'s support set and ``r`` adds no filtering power, so it is
+dropped from the feature set.  The intersection over *all* proper subtrees
+equals the intersection over the maximal ones (every subtree contains some
+maximal proper subtree's support set), so only leaf-removals are examined.
+
+Single-edge trees are never shrunk: they are the completeness floor of the
+whole index (any query can be partitioned into single edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.graphs.graph import LabeledGraph
+from repro.mining.patterns import MinedPattern
+from repro.trees.canonical import tree_canonical_string
+
+
+def leaf_removed_subtrees(tree: LabeledGraph) -> List[Tuple[str, LabeledGraph]]:
+    """The maximal proper subtrees of ``tree`` (one per leaf), deduplicated.
+
+    Returns ``(canonical_key, subtree)`` pairs; isomorphic removals collapse
+    to a single entry.
+    """
+    if tree.num_edges < 2:
+        return []
+    out: Dict[str, LabeledGraph] = {}
+    for leaf in tree.vertices():
+        if tree.degree(leaf) != 1:
+            continue
+        keep = [
+            (u, v) for u, v, _ in tree.edges() if leaf not in (u, v)
+        ]
+        sub, _ = tree.subgraph_from_edges(keep)
+        out.setdefault(tree_canonical_string(sub), sub)
+    return list(out.items())
+
+
+@dataclass
+class ShrinkReport:
+    """What shrinking did: which canonical keys were removed and why."""
+
+    kept: Dict[str, MinedPattern]
+    removed: Dict[str, float]  # canonical key -> redundancy ratio
+
+    @property
+    def removed_count(self) -> int:
+        return len(self.removed)
+
+
+def shrink_feature_set(
+    frequent: Dict[str, MinedPattern], gamma: float
+) -> ShrinkReport:
+    """Apply the γ-shrinking rule to a mined frequent-tree set.
+
+    ``frequent`` maps canonical keys to mined patterns (with exact support
+    sets).  A pattern ``r`` with ``size >= 2`` is removed when
+    ``|⋂ D_{r_i}| / |D_r| <= gamma``; subtree supports are always taken
+    from the *full* pre-shrink set so removal order cannot matter.
+    """
+    kept: Dict[str, MinedPattern] = {}
+    removed: Dict[str, float] = {}
+    for key, pattern in frequent.items():
+        if pattern.size < 2 or pattern.support == 0:
+            kept[key] = pattern
+            continue
+        subtrees = leaf_removed_subtrees(pattern.graph)
+        intersection: Set[int] = None  # type: ignore[assignment]
+        complete = True
+        for sub_key, _ in subtrees:
+            sub_pattern = frequent.get(sub_key)
+            if sub_pattern is None:
+                # A parent missing from the frequent set means support
+                # bookkeeping is approximate here; keep r conservatively.
+                complete = False
+                break
+            support = sub_pattern.support_set()
+            intersection = (
+                set(support) if intersection is None else intersection & support
+            )
+        if not complete or intersection is None:
+            kept[key] = pattern
+            continue
+        ratio = len(intersection) / pattern.support
+        if ratio <= gamma:
+            removed[key] = ratio
+        else:
+            kept[key] = pattern
+    return ShrinkReport(kept=kept, removed=removed)

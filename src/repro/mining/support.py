@@ -1,0 +1,80 @@
+"""The size-increasing support threshold function σ(s) (Section 4.1.1, Eq. 1).
+
+.. math::
+
+    \\sigma(s) = \\begin{cases}
+        1                       & s \\le \\alpha \\\\
+        1 + \\beta s - \\alpha\\beta & \\alpha < s \\le \\eta \\\\
+        +\\infty                & s > \\eta
+    \\end{cases}
+
+``σ(1) = 1`` guarantees every single-edge tree appearing anywhere in the
+database is a feature, which makes Feature-Tree-Partitions always exist
+(Section 5.1's worst case).  ``σ(s) = ∞`` beyond ``η`` stops mining: large
+low-support trees carry no extra filtering power.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigError
+
+
+@dataclass(frozen=True)
+class SupportFunction:
+    """Eq. 1 with parameters ``alpha``, ``beta``, ``eta``.
+
+    Parameters (all positive; ``eta >= alpha``):
+
+    * ``alpha`` — largest tree size indexed unconditionally (threshold 1),
+    * ``beta``  — slope of the threshold beyond ``alpha``,
+    * ``eta``   — maximum feature-tree edge size.
+    """
+
+    alpha: int
+    beta: float
+    eta: int
+
+    def __post_init__(self):
+        if self.alpha < 1 or self.beta <= 0 or self.eta < 1:
+            raise ConfigError(
+                f"alpha, beta, eta must be positive (got {self.alpha}, "
+                f"{self.beta}, {self.eta})"
+            )
+        if self.eta < self.alpha:
+            raise ConfigError(f"eta ({self.eta}) must be >= alpha ({self.alpha})")
+
+    def __call__(self, size: int) -> float:
+        """Minimum support for a tree with ``size`` edges."""
+        if size < 1:
+            raise ConfigError(f"tree size must be >= 1 (got {size})")
+        if size <= self.alpha:
+            return 1
+        if size <= self.eta:
+            return 1 + self.beta * size - self.alpha * self.beta
+        return math.inf
+
+    @property
+    def max_size(self) -> int:
+        """Largest indexable feature size (``η``)."""
+        return self.eta
+
+    @classmethod
+    def paper_heuristic(
+        cls,
+        avg_query_size: float,
+        avg_database_size: float,
+        beta: float = 2.0,
+    ) -> "SupportFunction":
+        """Section 4.1.3 heuristics: ``α ∈ [s̄_q/4, s̄_q/2]`` (we take the
+        midpoint ``3 s̄_q / 8``), ``η = min(s̄_q, s̄_D)``.
+        """
+        alpha = max(1, round(3 * avg_query_size / 8))
+        eta = max(alpha, round(min(avg_query_size, avg_database_size)))
+        return cls(alpha=alpha, beta=beta, eta=eta)
+
+
+#: The exact configuration the paper uses on the AIDS antiviral dataset.
+PAPER_AIDS_SUPPORT = SupportFunction(alpha=5, beta=2.0, eta=10)

@@ -1,0 +1,245 @@
+"""Index persistence: save/load a built TreePi index without re-mining.
+
+The on-disk format is a single JSON document embedding the database, the
+configuration, and every feature with its center locations and support
+sets — everything :class:`repro.core.TreePiIndex` holds.  Loading
+reconstructs an index that answers queries identically to the original
+(tested byte-for-byte on query results).
+
+Labels are stored with explicit type tags so integers, strings, and the
+tuple labels produced by the directed subdivision encoding all round-trip
+losslessly (plain JSON would silently turn tuples into lists and integer
+keys into strings).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.feature import FeatureTree
+from repro.core.statistics import IndexStats
+from repro.core.treepi import TreePiConfig, TreePiIndex
+from repro.exceptions import SerializationError
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+from repro.mining.subtree_miner import MiningStats
+from repro.mining.support import SupportFunction
+
+FORMAT_NAME = "treepi-index"
+FORMAT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# typed labels
+# ----------------------------------------------------------------------
+def encode_label(label: Any) -> Any:
+    if isinstance(label, bool):
+        raise SerializationError("boolean labels are not supported")
+    if isinstance(label, int):
+        return {"i": label}
+    if isinstance(label, float):
+        return {"f": label}
+    if isinstance(label, str):
+        return {"s": label}
+    if isinstance(label, (tuple, list)):
+        return {"t": [encode_label(item) for item in label]}
+    if label is None:
+        return {"n": True}
+    raise SerializationError(f"unsupported label type {type(label).__name__}")
+
+
+def decode_label(data: Any) -> Any:
+    if not isinstance(data, dict) or len(data) != 1:
+        raise SerializationError(f"malformed label record {data!r}")
+    ((kind, value),) = data.items()
+    if kind == "i":
+        return int(value)
+    if kind == "f":
+        return float(value)
+    if kind == "s":
+        return str(value)
+    if kind == "t":
+        return tuple(decode_label(item) for item in value)
+    if kind == "n":
+        return None
+    raise SerializationError(f"unknown label kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# graphs
+# ----------------------------------------------------------------------
+def graph_to_json(graph: LabeledGraph) -> Dict[str, Any]:
+    return {
+        "vertices": [encode_label(l) for l in graph.vertex_labels()],
+        "edges": [
+            [u, v, encode_label(label)] for u, v, label in graph.edges()
+        ],
+    }
+
+
+def graph_from_json(data: Dict[str, Any], graph_id: int = None) -> LabeledGraph:
+    try:
+        graph = LabeledGraph(
+            [decode_label(l) for l in data["vertices"]], graph_id=graph_id
+        )
+        for u, v, label in data["edges"]:
+            graph.add_edge(u, v, decode_label(label))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed graph record: {exc}") from exc
+    return graph
+
+
+# ----------------------------------------------------------------------
+# config / stats
+# ----------------------------------------------------------------------
+def _config_to_json(config: TreePiConfig) -> Dict[str, Any]:
+    return {
+        "alpha": config.support.alpha,
+        "beta": config.support.beta,
+        "eta": config.support.eta,
+        "gamma": config.gamma,
+        "delta": config.delta,
+        "enable_center_prune": config.enable_center_prune,
+        "augment_small_subtrees": config.augment_small_subtrees,
+        "paths_only": config.paths_only,
+        "feature_index": config.feature_index,
+        "direct_verification_max_edges": config.direct_verification_max_edges,
+        "center_prune_budget": config.center_prune_budget,
+        "max_embeddings_per_graph": config.max_embeddings_per_graph,
+        "seed": config.seed,
+    }
+
+
+def _config_from_json(data: Dict[str, Any]) -> TreePiConfig:
+    return TreePiConfig(
+        support=SupportFunction(data["alpha"], data["beta"], data["eta"]),
+        gamma=data["gamma"],
+        delta=data["delta"],
+        enable_center_prune=data["enable_center_prune"],
+        augment_small_subtrees=data["augment_small_subtrees"],
+        paths_only=data.get("paths_only", False),
+        feature_index=data.get("feature_index", "trie"),
+        direct_verification_max_edges=data.get("direct_verification_max_edges", 5),
+        center_prune_budget=data.get("center_prune_budget", 2000),
+        max_embeddings_per_graph=data["max_embeddings_per_graph"],
+        seed=data["seed"],
+    )
+
+
+def _stats_to_json(stats: IndexStats) -> Dict[str, Any]:
+    return {
+        "num_features": stats.num_features,
+        "features_by_size": {str(k): v for k, v in stats.features_by_size.items()},
+        "total_center_locations": stats.total_center_locations,
+        "build_seconds": stats.build_seconds,
+        "shrink_removed": stats.shrink_removed,
+        "mining": {
+            "patterns_per_level": {
+                str(k): v for k, v in stats.mining.patterns_per_level.items()
+            },
+            "candidates_per_level": {
+                str(k): v for k, v in stats.mining.candidates_per_level.items()
+            },
+            "elapsed_seconds": stats.mining.elapsed_seconds,
+        },
+    }
+
+
+def _stats_from_json(data: Dict[str, Any]) -> IndexStats:
+    mining = MiningStats(
+        patterns_per_level={
+            int(k): v for k, v in data["mining"]["patterns_per_level"].items()
+        },
+        candidates_per_level={
+            int(k): v for k, v in data["mining"]["candidates_per_level"].items()
+        },
+        elapsed_seconds=data["mining"]["elapsed_seconds"],
+    )
+    return IndexStats(
+        num_features=data["num_features"],
+        features_by_size={int(k): v for k, v in data["features_by_size"].items()},
+        total_center_locations=data["total_center_locations"],
+        build_seconds=data["build_seconds"],
+        mining=mining,
+        shrink_removed=data["shrink_removed"],
+    )
+
+
+# ----------------------------------------------------------------------
+# features
+# ----------------------------------------------------------------------
+def _feature_to_json(feature: FeatureTree) -> Dict[str, Any]:
+    return {
+        "id": feature.feature_id,
+        "tree": graph_to_json(feature.tree),
+        "key": feature.key,
+        "center": list(feature.center),
+        "locations": {
+            str(gid): sorted(list(c) for c in centers)
+            for gid, centers in feature.locations.items()
+        },
+    }
+
+
+def _feature_from_json(data: Dict[str, Any]) -> FeatureTree:
+    return FeatureTree(
+        feature_id=data["id"],
+        tree=graph_from_json(data["tree"]),
+        key=data["key"],
+        center=tuple(data["center"]),
+        locations={
+            int(gid): frozenset(tuple(c) for c in centers)
+            for gid, centers in data["locations"].items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# top level
+# ----------------------------------------------------------------------
+def index_to_json(index: TreePiIndex) -> Dict[str, Any]:
+    db = index.database
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "config": _config_to_json(index.config),
+        "stats": _stats_to_json(index.stats),
+        "database": {
+            str(gid): graph_to_json(db[gid]) for gid in db.graph_ids()
+        },
+        "features": [_feature_to_json(f) for f in index.features],
+    }
+
+
+def index_from_json(data: Dict[str, Any]) -> TreePiIndex:
+    if data.get("format") != FORMAT_NAME:
+        raise SerializationError(f"not a {FORMAT_NAME} document")
+    if data.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported index format version {data.get('version')!r}"
+        )
+    db = GraphDatabase()
+    for gid_str, record in sorted(data["database"].items(), key=lambda kv: int(kv[0])):
+        gid = int(gid_str)
+        db.add(graph_from_json(record), graph_id=gid)
+    features = [_feature_from_json(f) for f in data["features"]]
+    config = _config_from_json(data["config"])
+    stats = _stats_from_json(data["stats"])
+    return TreePiIndex(db, config, features, stats)
+
+
+def save_index(index: TreePiIndex, path: Union[str, Path]) -> None:
+    """Write the index (database included) as a JSON document."""
+    with open(path, "w") as f:
+        json.dump(index_to_json(index), f)
+
+
+def load_index(path: Union[str, Path]) -> TreePiIndex:
+    """Reload an index saved by :func:`save_index`; no re-mining happens."""
+    with open(path) as f:
+        try:
+            data = json.load(f)
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return index_from_json(data)

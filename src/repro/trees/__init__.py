@@ -1,0 +1,26 @@
+"""Tree substrate: centers, canonical forms, tree isomorphism."""
+
+from repro.trees.center import (
+    Center,
+    center_of_embedding,
+    is_edge_centered,
+    tree_center,
+)
+from repro.trees.canonical import (
+    rooted_canonical_string,
+    tree_canonical_form,
+    tree_canonical_string,
+)
+from repro.trees.isomorphism import is_subtree_of, trees_isomorphic
+
+__all__ = [
+    "Center",
+    "center_of_embedding",
+    "is_edge_centered",
+    "tree_center",
+    "rooted_canonical_string",
+    "tree_canonical_form",
+    "tree_canonical_string",
+    "is_subtree_of",
+    "trees_isomorphic",
+]

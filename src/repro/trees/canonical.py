@@ -1,0 +1,83 @@
+"""Canonical forms and string representations of labeled trees.
+
+Section 4.2.2: root the tree at its center, represent each node as a
+2-tuple ``(Le, Lv)`` (incoming edge label, vertex label), order siblings
+recursively, and emit a unique string.  We implement the classic AHU
+scheme with labels:
+
+* a rooted subtree encodes as ``(Le,Lv,child_1 child_2 ...)`` with the
+  children's encodings sorted lexicographically,
+* a vertex-centered tree encodes as ``V:<encoding rooted at the center>``,
+* an edge-centered tree splits at the center edge into two halves and
+  encodes as ``E[<edge label>]:<sorted half encodings>``.
+
+Two labeled trees are isomorphic **iff** their canonical strings are equal
+(AHU correctness + isomorphisms preserve centers), which is what lets
+TreePi look up any query subtree in the feature index in polynomial time —
+the key asymmetry versus gIndex's exponential graph canonization.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import NotATreeError
+from repro.graphs.graph import LabeledGraph
+from repro.trees.center import Center, tree_center
+
+
+def _encode_rooted(
+    tree: LabeledGraph,
+    root: int,
+    parent: Optional[int],
+    incoming_label: str,
+) -> str:
+    """AHU encoding of the subtree hanging below ``root`` (iterative DFS).
+
+    The incoming edge label participates in the node 2-tuple exactly as in
+    the paper's ``(Le, Lv)`` representation.
+    """
+    # Post-order without recursion: children encodings must be ready before
+    # a node is encoded, so process an explicit stack twice.
+    order: List[Tuple[int, Optional[int], str]] = []
+    stack: List[Tuple[int, Optional[int], str]] = [(root, parent, incoming_label)]
+    while stack:
+        node, par, inc = stack.pop()
+        order.append((node, par, inc))
+        for child, elabel in tree.neighbor_items(node):
+            if child != par:
+                stack.append((child, node, repr(elabel)))
+
+    encoded: Dict[int, str] = {}
+    children: Dict[int, List[str]] = {node: [] for node, _, _ in order}
+    for node, par, inc in reversed(order):
+        kids = sorted(children[node])
+        encoded[node] = f"({inc},{tree.vertex_label(node)!r}" + "".join(kids) + ")"
+        if node != root:
+            children[par].append(encoded[node])
+    return encoded[root]
+
+
+def rooted_canonical_string(tree: LabeledGraph, root: int) -> str:
+    """Canonical string of ``tree`` regarded as rooted at ``root``."""
+    if not tree.is_tree():
+        raise NotATreeError("rooted_canonical_string requires a tree")
+    return _encode_rooted(tree, root, None, "#")
+
+
+def tree_canonical_string(tree: LabeledGraph) -> str:
+    """The center-rooted canonical string — equal iff trees are isomorphic."""
+    center = tree_center(tree)
+    if len(center) == 1:
+        return "V:" + _encode_rooted(tree, center[0], None, "#")
+    a, b = center
+    elabel = tree.edge_label(a, b)
+    half_a = _encode_rooted(tree, a, b, "#")
+    half_b = _encode_rooted(tree, b, a, "#")
+    first, second = sorted((half_a, half_b))
+    return f"E[{elabel!r}]:{first}|{second}"
+
+
+def tree_canonical_form(tree: LabeledGraph) -> Tuple[str, Center]:
+    """Canonical string together with the center it was rooted at."""
+    return tree_canonical_string(tree), tree_center(tree)

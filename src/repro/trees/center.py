@@ -1,0 +1,72 @@
+"""Tree centers (Theorem 1): one vertex or one edge, found by leaf stripping.
+
+The center is the structural anchor of the whole index: occurrences of a
+feature tree inside database graphs are recorded by the position of their
+center, and query pruning compares center-to-center distances.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.exceptions import NotATreeError
+from repro.graphs.graph import LabeledGraph
+
+Center = Tuple[int, ...]  # one vertex (v,) or one edge (u, v) with u < v
+
+
+def tree_center(tree: LabeledGraph) -> Center:
+    """Return the center of ``tree`` as a 1- or 2-tuple of vertex ids.
+
+    Implements the O(n) peeling procedure of Section 4.2.2: repeatedly
+    remove all current leaves until one vertex (vertex-centered) or two
+    adjacent vertices (edge-centered) remain.
+    """
+    if not tree.is_tree():
+        raise NotATreeError("tree_center requires a connected acyclic graph")
+    n = tree.num_vertices
+    if n == 1:
+        return (0,)
+    if n == 2:
+        return (0, 1)
+
+    degree: List[int] = [tree.degree(u) for u in tree.vertices()]
+    removed = [False] * n
+    layer = [u for u in tree.vertices() if degree[u] == 1]
+    remaining = n
+    while remaining > 2:
+        next_layer: List[int] = []
+        for leaf in layer:
+            removed[leaf] = True
+        remaining -= len(layer)
+        for leaf in layer:
+            for v in tree.neighbors(leaf):
+                if not removed[v]:
+                    degree[v] -= 1
+                    if degree[v] == 1:
+                        next_layer.append(v)
+        layer = next_layer
+    core = tuple(sorted(u for u in tree.vertices() if not removed[u]))
+    if len(core) == 1:
+        return core
+    if len(core) == 2 and tree.has_edge(core[0], core[1]):
+        return core
+    raise NotATreeError(f"leaf stripping left an invalid core {core}")
+
+
+def is_edge_centered(tree: LabeledGraph) -> bool:
+    """True when the center of ``tree`` is an edge (two adjacent vertices)."""
+    return len(tree_center(tree)) == 2
+
+
+def center_of_embedding(
+    tree: LabeledGraph, mapping: Dict[int, int]
+) -> Center:
+    """Where an embedded copy of ``tree`` is centered inside the host graph.
+
+    An isomorphism maps the center to the center, so the embedded subtree's
+    center is simply the image of ``tree_center(tree)`` under ``mapping``.
+    """
+    center = tree_center(tree)
+    image = tuple(sorted(mapping[v] for v in center))
+    return image

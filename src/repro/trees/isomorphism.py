@@ -1,0 +1,32 @@
+"""Tree isomorphism and subtree tests built on canonical strings.
+
+Tree isomorphism reduces to string equality of canonical forms (linear
+time up to sorting), which is the efficiency argument at the heart of the
+paper.  Subtree-of-tree containment additionally uses the generic matcher
+— still far cheaper than general subgraph isomorphism because the matcher
+degenerates gracefully on acyclic patterns.
+"""
+
+from __future__ import annotations
+
+from repro.graphs.graph import LabeledGraph
+from repro.graphs.isomorphism import is_subgraph_isomorphic
+from repro.trees.canonical import tree_canonical_string
+
+
+def trees_isomorphic(t1: LabeledGraph, t2: LabeledGraph) -> bool:
+    """Labeled-tree isomorphism via canonical strings."""
+    if t1.num_vertices != t2.num_vertices or t1.num_edges != t2.num_edges:
+        return False
+    return tree_canonical_string(t1) == tree_canonical_string(t2)
+
+
+def is_subtree_of(small: LabeledGraph, big: LabeledGraph) -> bool:
+    """Whether tree ``small`` embeds into tree ``big`` (edge-subgraph sense).
+
+    A size check short-circuits; otherwise the generic monomorphism matcher
+    runs, which on trees never needs the expensive cyclic consistency work.
+    """
+    if small.num_vertices > big.num_vertices or small.num_edges > big.num_edges:
+        return False
+    return is_subgraph_isomorphic(small, big)

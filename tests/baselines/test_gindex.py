@@ -1,0 +1,77 @@
+"""Unit tests for the gIndex baseline."""
+
+import pytest
+
+from repro.baselines import GIndexBaseline, GIndexConfig, SequentialScan
+from repro.datasets import extract_query_workload
+from repro.exceptions import IndexError_
+from repro.graphs import GraphDatabase, LabeledGraph, cycle_graph, path_graph
+
+
+@pytest.fixture(scope="module")
+def gindex(chem_db_module):
+    return GIndexBaseline.build(chem_db_module, GIndexConfig(max_size=3))
+
+
+@pytest.fixture(scope="module")
+def chem_db_module():
+    from repro.datasets import generate_aids_like
+
+    return generate_aids_like(20, avg_atoms=12, seed=31)
+
+
+class TestBuild:
+    def test_empty_database_rejected(self):
+        with pytest.raises(IndexError_):
+            GIndexBaseline.build(GraphDatabase(), GIndexConfig())
+
+    def test_stats(self, gindex):
+        stats = gindex.stats
+        assert stats.num_features == gindex.feature_count() > 0
+        assert stats.num_frequent >= stats.num_features
+        assert stats.build_seconds > 0
+        assert sum(stats.features_by_size.values()) == stats.num_features
+
+    def test_single_edges_always_selected(self, gindex, chem_db_module):
+        # Size-1 patterns skip the discriminative filter, mirroring gIndex.
+        assert gindex.stats.features_by_size.get(1, 0) > 0
+
+    def test_indexes_cyclic_patterns(self):
+        tri = cycle_graph(["a", "a", "a"])
+        db = GraphDatabase([tri, tri.copy(), tri.copy()])
+        gi = GIndexBaseline.build(db, GIndexConfig(max_size=3))
+        # Exactly three frequent patterns exist: the a-a edge, the 2-edge
+        # path, and the triangle itself.
+        assert gi.stats.num_frequent == 3
+        from repro.graphs import canonical_label
+
+        assert canonical_label(tri) in gi._frequent
+
+
+class TestQuery:
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_matches_sequential_scan(self, gindex, chem_db_module, m):
+        scan = SequentialScan(chem_db_module)
+        for query in extract_query_workload(chem_db_module, m, 5, seed=m):
+            assert gindex.query(query).matches == scan.support_set(query)
+
+    def test_unknown_edge_gives_empty(self, gindex):
+        q = LabeledGraph(["Zz", "Qq"], [(0, 1, 42)])
+        result = gindex.query(q)
+        assert result.matches == frozenset()
+        assert result.candidates_after_filter == 0
+
+    def test_candidates_superset_of_answers(self, gindex, chem_db_module):
+        for query in extract_query_workload(chem_db_module, 5, 5, seed=2):
+            result = gindex.query(query)
+            assert len(result.matches) <= result.candidates_after_filter
+
+    def test_no_pruning_stage(self, gindex, chem_db_module):
+        query = next(iter(extract_query_workload(chem_db_module, 4, 1, seed=1)))
+        result = gindex.query(query)
+        assert result.candidates_after_filter == result.candidates_after_prune
+
+    def test_enumeration_counts_features(self, gindex, chem_db_module):
+        query = next(iter(extract_query_workload(chem_db_module, 6, 1, seed=3)))
+        result = gindex.query(query)
+        assert result.sfq_size >= 1  # at least one indexed subgraph found

@@ -1,0 +1,63 @@
+"""Targeted tests for gIndex's query-subgraph enumeration internals."""
+
+import pytest
+
+from repro.baselines import GIndexBaseline, GIndexConfig
+from repro.graphs import (
+    GraphDatabase,
+    LabeledGraph,
+    canonical_label,
+    cycle_graph,
+    path_graph,
+)
+
+
+@pytest.fixture
+def tiny_gindex():
+    # Database of two path graphs sharing the a-b-c chain; maxL=2.
+    db = GraphDatabase([
+        path_graph(["a", "b", "c", "d"]),
+        path_graph(["a", "b", "c", "e"]),
+    ])
+    return GIndexBaseline.build(db, GIndexConfig(max_size=2))
+
+
+class TestEnumeration:
+    def test_finds_indexed_fragments(self, tiny_gindex):
+        query = path_graph(["a", "b", "c"])
+        found = tiny_gindex._enumerate_indexed_subgraphs(query)
+        # Every found label must be a selected feature.
+        assert found <= set(tiny_gindex._selected)
+        # The a-b edge is certainly selected (size-1 features always are).
+        assert canonical_label(path_graph(["a", "b"])) in found
+
+    def test_max_size_respected(self, tiny_gindex):
+        query = path_graph(["a", "b", "c", "d"])
+        found = tiny_gindex._enumerate_indexed_subgraphs(query)
+        # maxL=2: no 3-edge fragment may be reported even though the query
+        # contains one.
+        three_edge = canonical_label(path_graph(["a", "b", "c", "d"]))
+        assert three_edge not in found
+
+    def test_apriori_prunes_infrequent_branches(self, tiny_gindex):
+        # x-y does not occur in the database: enumeration must not report
+        # anything from that branch of the query.
+        query = LabeledGraph(
+            ["a", "b", "x"], [(0, 1, 1), (1, 2, 1)]
+        )
+        found = tiny_gindex._enumerate_indexed_subgraphs(query)
+        assert canonical_label(path_graph(["b", "x"])) not in found
+        assert canonical_label(path_graph(["a", "b"])) in found
+
+    def test_cyclic_fragments_enumerated(self):
+        tri = cycle_graph(["a", "a", "a"])
+        db = GraphDatabase([tri.copy(), tri.copy(), tri.copy()])
+        gi = GIndexBaseline.build(db, GIndexConfig(max_size=3))
+        found = gi._enumerate_indexed_subgraphs(tri)
+        # The triangle is frequent; if selected it must be found.
+        if canonical_label(tri) in gi._selected:
+            assert canonical_label(tri) in found
+
+    def test_query_with_no_known_fragments(self, tiny_gindex):
+        query = LabeledGraph(["q", "r"], [(0, 1, 9)])
+        assert tiny_gindex._enumerate_indexed_subgraphs(query) == set()

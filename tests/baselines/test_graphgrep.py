@@ -1,0 +1,75 @@
+"""Unit tests for the GraphGrep path-based baseline."""
+
+import pytest
+
+from repro.baselines import (
+    GraphGrepBaseline,
+    GraphGrepConfig,
+    SequentialScan,
+    path_fingerprint,
+)
+from repro.datasets import extract_query_workload, generate_aids_like
+from repro.exceptions import IndexError_
+from repro.graphs import GraphDatabase, LabeledGraph, cycle_graph, path_graph
+
+
+class TestPathFingerprint:
+    def test_single_edge(self):
+        fp = path_fingerprint(path_graph(["a", "b"]), max_length=3)
+        assert sum(fp.values()) == 1
+
+    def test_path_counts(self):
+        # Path a-a-a: two 1-edge paths + one 2-edge path.
+        fp = path_fingerprint(path_graph(["a", "a", "a"]), max_length=3)
+        assert sorted(fp.values()) == [1, 2]
+
+    def test_orientation_collapsed(self):
+        fp1 = path_fingerprint(path_graph(["a", "b", "c"]), max_length=3)
+        fp2 = path_fingerprint(path_graph(["c", "b", "a"]), max_length=3)
+        assert fp1 == fp2
+
+    def test_max_length_respected(self):
+        fp = path_fingerprint(path_graph(["a"] * 6), max_length=2)
+        longest = max(len(key) for key in fp)
+        assert longest <= 5  # v,e,v,e,v alternation for 2 edges
+
+    def test_cycle_paths(self):
+        fp = path_fingerprint(cycle_graph(["a"] * 4), max_length=1)
+        assert sum(fp.values()) == 4
+
+
+class TestGraphGrepBaseline:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_aids_like(15, avg_atoms=12, seed=41)
+
+    @pytest.fixture(scope="class")
+    def grep(self, db):
+        return GraphGrepBaseline(db, GraphGrepConfig(max_length=3))
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(IndexError_):
+            GraphGrepBaseline(GraphDatabase(), GraphGrepConfig())
+
+    def test_index_size_positive(self, grep):
+        assert grep.index_size() > 0
+        assert grep.build_seconds > 0
+
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_matches_sequential_scan(self, grep, db, m):
+        scan = SequentialScan(db)
+        for query in extract_query_workload(db, m, 5, seed=m):
+            assert grep.query(query).matches == scan.support_set(query)
+
+    def test_count_filtering(self, grep, db):
+        # A query with two identical C-C edges requires candidates to have
+        # at least two such paths — count-based, not just membership.
+        q = path_graph(["C", "C", "C"], edge_label=1)
+        result = grep.query(q)
+        scan = SequentialScan(db)
+        assert result.matches == scan.support_set(q)
+        assert result.candidates_after_filter >= len(result.matches)
+
+    def test_unmatchable_query(self, grep):
+        q = LabeledGraph(["Qq", "Zz"], [(0, 1, 5)])
+        assert grep.query(q).matches == frozenset()

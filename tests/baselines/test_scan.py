@@ -1,0 +1,32 @@
+"""Unit tests for the sequential-scan baseline."""
+
+from repro.baselines import SequentialScan
+from repro.graphs import GraphDatabase, LabeledGraph, path_graph
+
+
+class TestSequentialScan:
+    def test_support_set(self, paper_db):
+        scan = SequentialScan(paper_db)
+        q = path_graph(["a", "a"])
+        assert scan.support_set(q) == frozenset({0, 1, 2})
+
+    def test_empty_answer(self, paper_db):
+        scan = SequentialScan(paper_db)
+        q = path_graph(["z", "z"])
+        assert scan.support_set(q) == frozenset()
+
+    def test_query_result_fields(self, paper_db):
+        scan = SequentialScan(paper_db)
+        result = scan.query(path_graph(["a", "b"]))
+        assert result.candidates_after_filter == len(paper_db)
+        assert result.candidates_after_prune == len(paper_db)
+        assert result.phase_seconds["verification"] > 0
+        assert result.matches == scan.support_set(path_graph(["a", "b"]))
+
+    def test_respects_database_mutations(self, paper_db):
+        scan = SequentialScan(paper_db)
+        q = path_graph(["a", "a"])
+        before = scan.support_set(q)
+        paper_db.remove(0)
+        after = scan.support_set(q)
+        assert after == before - {0}

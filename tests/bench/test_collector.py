@@ -1,0 +1,95 @@
+"""Unit tests for the query statistics collector."""
+
+import pytest
+
+from repro.bench import QueryStatsCollector, percentile
+from repro.core.statistics import QueryResult
+
+
+def result(matches=(1,), pq=5, pqp=3, direct=False, phases=None):
+    return QueryResult(
+        matches=frozenset(matches),
+        direct_hit=direct,
+        candidates_after_filter=pq,
+        candidates_after_prune=pqp,
+        phase_seconds=phases or {"filter": 0.001, "verification": 0.002},
+    )
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([3.0, 1.0, 2.0], 0.5) == 2.0
+
+    def test_extremes(self):
+        values = [float(i) for i in range(10)]
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 9.0
+
+    def test_empty(self):
+        assert percentile([], 0.5) == 0.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+
+class TestCollector:
+    def test_empty_collector(self):
+        c = QueryStatsCollector()
+        assert len(c) == 0
+        assert c.mean_latency_ms() == 0.0
+        assert c.direct_hit_rate() == 0.0
+        assert c.false_positive_rate() == 0.0
+
+    def test_means(self):
+        c = QueryStatsCollector()
+        c.record(result(matches=(1, 2), pq=10, pqp=4))
+        c.record(result(matches=(1,), pq=6, pqp=2))
+        assert c.mean("support") == 1.5
+        assert c.mean("candidates_after_filter") == 8
+        assert c.mean("candidates_after_prune") == 3
+
+    def test_latency_override(self):
+        c = QueryStatsCollector()
+        c.record(result(), seconds=0.010)
+        c.record(result(), seconds=0.030)
+        assert c.mean_latency_ms() == pytest.approx(20.0)
+        assert c.latency_percentile_ms(1.0) == pytest.approx(30.0)
+
+    def test_direct_hit_rate(self):
+        c = QueryStatsCollector()
+        c.record(result(direct=True))
+        c.record(result(direct=False))
+        assert c.direct_hit_rate() == 0.5
+
+    def test_false_positive_rate(self):
+        c = QueryStatsCollector()
+        c.record(result(matches=(1,), pqp=4))  # 3 of 4 rejected
+        assert c.false_positive_rate() == 0.75
+
+    def test_phase_breakdown(self):
+        c = QueryStatsCollector()
+        c.record(result(phases={"filter": 0.002}))
+        c.record(result(phases={"filter": 0.004, "verification": 0.006}))
+        breakdown = c.phase_breakdown_ms()
+        assert breakdown["filter"] == pytest.approx(3.0)
+        assert breakdown["verification"] == pytest.approx(3.0)
+
+    def test_summary_table(self):
+        c = QueryStatsCollector(name="demo")
+        c.record(result())
+        table = c.summary_table()
+        assert "demo" in table.title
+        metrics = table.column("metric")
+        assert "queries" in metrics
+        assert "mean |P'q|" in metrics
+
+    def test_integration_with_real_index(self, chem_db, chem_index):
+        from repro.datasets import extract_query_workload
+
+        c = QueryStatsCollector("chem")
+        for query in extract_query_workload(chem_db, 4, 5, seed=1):
+            c.record(chem_index.query(query))
+        assert len(c) == 5
+        assert c.mean("support") >= 1
+        assert c.summary_table().rows

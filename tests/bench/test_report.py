@@ -1,0 +1,71 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.bench import Table, generate_report, table_to_markdown, write_report
+from repro.bench.harness import Scale
+
+MICRO = Scale(
+    name="micro-report",
+    db_sizes=(8,),
+    query_db_size=8,
+    queries_per_size=2,
+    query_sizes=(3,),
+    avg_atoms=9,
+    eta=3,
+)
+
+
+class TestTableToMarkdown:
+    def test_structure(self):
+        table = Table("Demo title", ["a", "b"], notes=["note text"])
+        table.add_row(1, 2.5)
+        md = table_to_markdown(table)
+        assert md.startswith("### Demo title")
+        assert "| a | b |" in md
+        assert "|---|---|" in md
+        assert "| 1 | 2.5000 |" in md
+        assert "*note text*" in md
+
+    def test_empty_table(self):
+        md = table_to_markdown(Table("Empty", ["x"]))
+        assert "| x |" in md
+
+
+class TestGenerateReport:
+    def test_restricted_section(self):
+        from repro.bench import clear_caches
+
+        clear_caches()
+        md = generate_report(MICRO, sections=["Figure 9"])
+        assert "# TreePi reproduction report" in md
+        assert "Figure 9" in md
+        assert "Figure 12" not in md
+        assert "treepi_features" in md
+        clear_caches()
+
+    def test_write_report(self, tmp_path):
+        from repro.bench import clear_caches
+
+        clear_caches()
+        path = write_report(tmp_path / "r.md", scale=MICRO, sections=["Figure 9"])
+        text = path.read_text()
+        assert text.startswith("# TreePi reproduction report")
+        assert "micro-report" in text
+        clear_caches()
+
+
+class TestCli:
+    def test_report_command(self, tmp_path, monkeypatch):
+        # The CLI resolves the scale from the environment; point it at tiny
+        # but restrict to one cheap section via a monkeypatched roster.
+        import repro.bench.report as report_mod
+        from repro.cli import main
+
+        monkeypatch.setattr(
+            report_mod, "ROSTER",
+            [("Smoke", lambda s: [Table("smoke", ["v"], [[1]])])],
+        )
+        out = tmp_path / "cli.md"
+        assert main(["report", "--out", str(out)]) == 0
+        assert "smoke" in out.read_text()

@@ -1,0 +1,94 @@
+"""Shared fixtures: small handcrafted graphs plus session-scoped databases."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import TreePiConfig, TreePiIndex
+from repro.datasets import generate_aids_like, synthetic_database
+from repro.graphs import GraphDatabase, LabeledGraph
+from repro.mining import SupportFunction
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xBEEF)
+
+
+@pytest.fixture
+def triangle():
+    """A labeled triangle: C-C-N with edge labels 1,1,2."""
+    return LabeledGraph(["C", "C", "N"], [(0, 1, 1), (1, 2, 1), (2, 0, 2)])
+
+
+@pytest.fixture
+def small_tree():
+    """A 4-edge, vertex-centered tree (star of paths)."""
+    #      1(b)
+    #       |
+    # 3(c)-0(a)-2(b)-4(c)
+    return LabeledGraph(
+        ["a", "b", "b", "c", "c"],
+        [(0, 1, 1), (0, 2, 1), (0, 3, 2), (2, 4, 1)],
+    )
+
+
+@pytest.fixture
+def edge_centered_tree():
+    """A 3-edge path — its center is the middle edge."""
+    return LabeledGraph(["a", "b", "b", "a"], [(0, 1, 1), (1, 2, 2), (2, 3, 1)])
+
+
+def make_paper_like_db() -> GraphDatabase:
+    """Three molecule-flavored graphs echoing the paper's Figure 1.
+
+    Graph 0 and 1 share a common backbone; graph 2 extends graph 1, so
+    small queries drawn from the backbone have support 2–3 and larger
+    ones support 1–2 (mirrors the running example's support structure).
+    """
+    backbone = [
+        (0, 1, 1), (1, 2, 1), (2, 3, 2), (3, 4, 1), (4, 5, 1),
+    ]
+    labels = ["a", "a", "b", "a", "b", "a"]
+
+    g0 = LabeledGraph(labels + ["b"], backbone + [(5, 6, 2), (0, 5, 1)])
+    g1 = LabeledGraph(labels + ["a"], backbone + [(1, 6, 1)])
+    g2 = LabeledGraph(
+        labels + ["a", "b", "a"],
+        backbone + [(1, 6, 1), (6, 7, 2), (7, 8, 1), (8, 2, 1)],
+    )
+    return GraphDatabase([g0, g1, g2])
+
+
+@pytest.fixture
+def paper_db():
+    return make_paper_like_db()
+
+
+@pytest.fixture(scope="session")
+def chem_db():
+    return generate_aids_like(30, avg_atoms=14, seed=7)
+
+
+@pytest.fixture(scope="session")
+def synth_db():
+    return synthetic_database(
+        25,
+        avg_seed_edges=4,
+        avg_graph_edges=10,
+        num_seeds=12,
+        num_vertex_labels=4,
+        seed=9,
+    )
+
+
+@pytest.fixture(scope="session")
+def chem_config():
+    return TreePiConfig(SupportFunction(alpha=2, beta=2.0, eta=4), gamma=1.1, seed=5)
+
+
+@pytest.fixture(scope="session")
+def chem_index(chem_db, chem_config):
+    return TreePiIndex.build(chem_db, chem_config)

@@ -1,0 +1,178 @@
+"""Unit tests for the B+-tree feature index (Section 4.2.2's alternative)."""
+
+import random
+import string
+
+import pytest
+
+from repro.core import BPlusTree
+
+
+def random_key(rng, length=8):
+    return "".join(rng.choice(string.ascii_lowercase) for _ in range(length))
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get("x") is None
+        assert "x" not in tree
+        assert list(tree.keys()) == []
+
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert("b", 1)
+        tree.insert("a", 2)
+        tree.insert("c", 3)
+        assert tree.get("a") == 2
+        assert tree.get("b") == 1
+        assert tree.get("c") == 3
+        assert len(tree) == 3
+
+    def test_overwrite(self):
+        tree = BPlusTree(order=4)
+        tree.insert("k", 1)
+        tree.insert("k", 9)
+        assert tree.get("k") == 9
+        assert len(tree) == 1
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_keys_sorted(self):
+        tree = BPlusTree(order=4)
+        for key in ["pear", "apple", "fig", "date", "cherry", "banana"]:
+            tree.insert(key, 0)
+        assert list(tree.keys()) == sorted(
+            ["pear", "apple", "fig", "date", "cherry", "banana"]
+        )
+
+
+class TestSplitsAndHeight:
+    def test_root_split(self):
+        tree = BPlusTree(order=3)
+        for i in range(10):
+            tree.insert(f"k{i:02d}", i)
+        assert tree.height() >= 2
+        tree.check_invariants()
+        assert [v for _, v in tree.items()] == list(range(10))
+
+    def test_many_inserts_keep_invariants(self):
+        tree = BPlusTree(order=4)
+        rng = random.Random(3)
+        keys = [random_key(rng) for _ in range(400)]
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        tree.check_invariants()
+        assert len(tree) == len(set(keys))
+
+    def test_sequential_and_reverse_insert(self):
+        for ordering in (range(100), reversed(range(100))):
+            tree = BPlusTree(order=5)
+            for i in ordering:
+                tree.insert(f"{i:04d}", i)
+            tree.check_invariants()
+            assert len(tree) == 100
+
+
+class TestRemove:
+    def test_remove_present(self):
+        tree = BPlusTree(order=4)
+        for i in range(20):
+            tree.insert(f"{i:03d}", i)
+        assert tree.remove("005")
+        assert "005" not in tree
+        assert len(tree) == 19
+        tree.check_invariants()
+
+    def test_remove_missing(self):
+        tree = BPlusTree(order=4)
+        tree.insert("a", 1)
+        assert not tree.remove("z")
+        assert len(tree) == 1
+
+    def test_remove_everything(self):
+        tree = BPlusTree(order=3)
+        keys = [f"{i:03d}" for i in range(50)]
+        for i, key in enumerate(keys):
+            tree.insert(key, i)
+        random.Random(7).shuffle(keys)
+        for key in keys:
+            assert tree.remove(key)
+            tree.check_invariants()
+        assert len(tree) == 0
+        assert list(tree.keys()) == []
+
+    def test_randomized_against_dict_oracle(self):
+        rng = random.Random(11)
+        tree = BPlusTree(order=4)
+        oracle = {}
+        for step in range(1500):
+            key = random_key(rng, length=3)  # small space → collisions
+            op = rng.random()
+            if op < 0.55:
+                value = rng.randrange(1000)
+                tree.insert(key, value)
+                oracle[key] = value
+            elif op < 0.9:
+                assert tree.remove(key) == (key in oracle)
+                oracle.pop(key, None)
+            else:
+                assert tree.get(key) == oracle.get(key)
+        tree.check_invariants()
+        assert sorted(oracle) == list(tree.keys())
+        for key, value in oracle.items():
+            assert tree.get(key) == value
+
+
+class TestRangeScans:
+    @pytest.fixture
+    def tree(self):
+        t = BPlusTree(order=4)
+        for i in range(30):
+            t.insert(f"key{i:02d}", i)
+        return t
+
+    def test_range(self, tree):
+        result = list(tree.range("key05", "key10"))
+        assert [k for k, _ in result] == [f"key{i:02d}" for i in range(5, 10)]
+
+    def test_range_empty(self, tree):
+        assert list(tree.range("zzz", "zzzz")) == []
+
+    def test_items_with_prefix(self, tree):
+        result = dict(tree.items_with_prefix("key1"))
+        assert set(result.values()) == set(range(10, 20))
+
+    def test_items_with_empty_prefix(self, tree):
+        assert len(list(tree.items_with_prefix(""))) == 30
+
+    def test_prefix_no_match(self, tree):
+        assert list(tree.items_with_prefix("nope")) == []
+
+
+class TestTreePiIntegration:
+    def test_index_over_bptree_answers_identically(self, chem_db, chem_config):
+        from dataclasses import replace
+
+        from repro.core import TreePiIndex
+        from repro.datasets import extract_query_workload
+
+        trie_index = TreePiIndex.build(chem_db, chem_config)
+        bpt_index = TreePiIndex.build(
+            chem_db, replace(chem_config, feature_index="bptree")
+        )
+        assert bpt_index.feature_count() == trie_index.feature_count()
+        for query in extract_query_workload(chem_db, 5, 6, seed=77):
+            assert bpt_index.query(query).matches == trie_index.query(query).matches
+
+    def test_unknown_feature_index_rejected(self, chem_db, chem_config):
+        from dataclasses import replace
+
+        from repro.core import TreePiIndex
+        from repro.exceptions import IndexError_
+
+        with pytest.raises(IndexError_):
+            TreePiIndex.build(chem_db, replace(chem_config, feature_index="hash"))

@@ -1,0 +1,124 @@
+"""Unit tests for Center Distance Constraint pruning (Algorithm 2).
+
+The scenario mirrors the paper's Figure 7: a query partitioned into two
+feature subtrees whose centers are 2 apart; a candidate containing both
+pieces at center distance 4 violates the constraint and is pruned, while
+one at distance 2 survives.
+"""
+
+import pytest
+
+from repro.core import (
+    CenterConstraintProblem,
+    FeatureTree,
+    center_assignments,
+    center_prune,
+    satisfies_center_constraints,
+)
+from repro.core.partition import Partition, QueryPiece
+from repro.graphs import LabeledGraph, path_graph
+from repro.mining import MinedPattern
+from repro.trees import tree_canonical_string, tree_center
+
+
+@pytest.fixture
+def query():
+    return path_graph(["a", "b", "c", "d", "e"])
+
+
+def piece_from_edges(query, edges):
+    sub, remap = query.subgraph_from_edges(edges)
+    to_query = {new: old for old, new in remap.items()}
+    center = tree_center(sub)
+    return QueryPiece(
+        edges=tuple(sorted(edges)),
+        tree=sub,
+        to_query=to_query,
+        key=tree_canonical_string(sub),
+        center=center,
+        center_in_query=tuple(sorted(to_query[v] for v in center)),
+    )
+
+
+@pytest.fixture
+def pieces(query):
+    return [
+        piece_from_edges(query, [(0, 1), (1, 2)]),  # a-b-c, center at q-vertex 1
+        piece_from_edges(query, [(2, 3), (3, 4)]),  # c-d-e, center at q-vertex 3
+    ]
+
+
+@pytest.fixture
+def graphs():
+    near = path_graph(["a", "b", "c", "d", "e"])          # centers at 1 and 3
+    near.graph_id = 0
+    far = path_graph(["a", "b", "c", "z", "c", "d", "e"])  # centers at 1 and 5
+    far.graph_id = 1
+    return {0: near, 1: far}
+
+
+@pytest.fixture
+def problem(query, pieces, graphs):
+    lookup = {}
+    for piece in pieces:
+        pattern = MinedPattern(piece.tree, piece.key)
+        feature = FeatureTree.from_mined_pattern(len(lookup), pattern)
+        lookup[piece.key] = feature
+    # Record the center locations each graph actually has.
+    lookup[pieces[0].key].add_occurrences(0, [(1,)])
+    lookup[pieces[1].key].add_occurrences(0, [(3,)])
+    lookup[pieces[0].key].add_occurrences(1, [(1,)])
+    lookup[pieces[1].key].add_occurrences(1, [(5,)])
+    return CenterConstraintProblem.from_partition(
+        query, Partition(pieces), lookup
+    )
+
+
+class TestProblemConstruction:
+    def test_query_distances(self, problem):
+        assert problem.distances[0][1] == 2
+        assert problem.distances[1][0] == 2
+        assert problem.distances[0][0] == 0
+
+
+class TestConstraintCheck:
+    def test_near_graph_satisfies(self, problem, graphs):
+        assert satisfies_center_constraints(problem, graphs[0], 0)
+
+    def test_far_graph_pruned(self, problem, graphs):
+        # Center distance 4 in the graph > 2 in the query (Figure 7(a)).
+        assert not satisfies_center_constraints(problem, graphs[1], 1)
+
+    def test_graph_missing_a_feature_fails(self, problem, graphs):
+        assert not satisfies_center_constraints(problem, graphs[0], 99)
+
+    def test_assignments_enumerated(self, problem, graphs):
+        assignments = list(center_assignments(problem, graphs[0], 0))
+        assert assignments == [((1,), (3,))]
+
+    def test_far_graph_has_no_assignment(self, problem, graphs):
+        assert list(center_assignments(problem, graphs[1], 1)) == []
+
+
+class TestCenterPrune:
+    def test_prunes_only_violators(self, problem, graphs):
+        survivors = center_prune(problem, [0, 1], graphs)
+        assert survivors == [0]
+
+    def test_empty_candidates(self, problem, graphs):
+        assert center_prune(problem, [], graphs) == []
+
+
+class TestMultipleLocations:
+    def test_any_satisfying_combination_suffices(self, query, pieces, graphs):
+        lookup = {}
+        for piece in pieces:
+            pattern = MinedPattern(piece.tree, piece.key)
+            lookup[piece.key] = FeatureTree.from_mined_pattern(len(lookup), pattern)
+        # Two candidate centers for piece 0: one too far, one close enough.
+        lookup[pieces[0].key].add_occurrences(1, [(5,), (3,)])
+        lookup[pieces[1].key].add_occurrences(1, [(5,)])
+        problem = CenterConstraintProblem.from_partition(
+            query, Partition(pieces), lookup
+        )
+        assert satisfies_center_constraints(problem, graphs[1], 1)

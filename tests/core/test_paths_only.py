@@ -1,0 +1,51 @@
+"""Unit tests for the paths-only feature restriction (A4 ablation support)."""
+
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.core import TreePiConfig, TreePiIndex
+from repro.datasets import extract_query_workload
+from repro.mining import SupportFunction
+
+
+@pytest.fixture(scope="module")
+def dbs():
+    from repro.datasets import generate_aids_like
+
+    return generate_aids_like(18, avg_atoms=13, seed=71)
+
+
+@pytest.fixture(scope="module")
+def path_index(dbs):
+    config = TreePiConfig(
+        SupportFunction(2, 2.0, 4), gamma=1.1, paths_only=True, seed=9
+    )
+    return TreePiIndex.build(dbs, config)
+
+
+class TestPathsOnly:
+    def test_all_features_are_paths(self, path_index):
+        for feature in path_index.features:
+            degrees = [feature.tree.degree(v) for v in feature.tree.vertices()]
+            assert max(degrees) <= 2
+
+    def test_fewer_features_than_full_trees(self, dbs, path_index):
+        full = TreePiIndex.build(
+            dbs, TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=9)
+        )
+        assert path_index.feature_count() <= full.feature_count()
+
+    @pytest.mark.parametrize("m", [2, 4, 6])
+    def test_queries_stay_exact(self, dbs, path_index, m):
+        scan = SequentialScan(dbs)
+        for query in extract_query_workload(dbs, m, 5, seed=m):
+            assert path_index.query(query).matches == scan.support_set(query)
+
+    def test_branchy_query_still_answered(self, dbs, path_index):
+        # A star query has no path partition pieces larger than one edge
+        # around the hub, exercising the single-edge fallback.
+        from repro.graphs import star_graph
+
+        query = star_graph("C", ["C", "C", "C"])
+        scan = SequentialScan(dbs)
+        assert path_index.query(query).matches == scan.support_set(query)

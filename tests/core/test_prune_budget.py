@@ -1,0 +1,80 @@
+"""Unit tests for the center-prune work budget (latency bound, soundness)."""
+
+import pytest
+
+from repro.core import (
+    CenterConstraintProblem,
+    TreePiConfig,
+    TreePiIndex,
+    satisfies_center_constraints,
+)
+from repro.core.partition import Partition
+from repro.baselines import SequentialScan
+from repro.datasets import extract_query_workload
+from repro.mining import SupportFunction
+
+from tests.core.test_center_prune import piece_from_edges
+from repro.core import FeatureTree
+from repro.graphs import LabeledGraph, path_graph
+from repro.mining import MinedPattern
+
+
+def _two_piece_problem(query, locations_a, locations_b, gid=0):
+    pieces = [
+        piece_from_edges(query, [(0, 1), (1, 2)]),
+        piece_from_edges(query, [(2, 3), (3, 4)]),
+    ]
+    lookup = {}
+    for piece, centers in zip(pieces, (locations_a, locations_b)):
+        pattern = MinedPattern(piece.tree, piece.key)
+        feature = FeatureTree.from_mined_pattern(len(lookup), pattern)
+        feature.add_occurrences(gid, centers)
+        lookup[piece.key] = feature
+    return CenterConstraintProblem.from_partition(query, Partition(pieces), lookup)
+
+
+@pytest.fixture
+def query():
+    return path_graph(["a", "b", "c", "d", "e"])
+
+
+class TestBudget:
+    def test_budget_exhaustion_keeps_graph(self, query):
+        # Many far-apart decoy centers: with a one-check budget the prune
+        # gives up and (soundly) keeps the graph.
+        far = path_graph(["a", "b", "c", "z", "z", "z", "c", "d", "e"])
+        far.graph_id = 0
+        problem = _two_piece_problem(
+            query, [(1,)], [(7,)],
+        )
+        assert not satisfies_center_constraints(problem, far, 0)  # unbudgeted
+        assert satisfies_center_constraints(problem, far, 0, budget=0)
+
+    def test_generous_budget_matches_unbudgeted(self, query):
+        near = path_graph(["a", "b", "c", "d", "e"])
+        near.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(3,)])
+        assert satisfies_center_constraints(problem, near, 0, budget=10_000)
+        far = path_graph(["a", "b", "c", "z", "z", "z", "c", "d", "e"])
+        far.graph_id = 0
+        problem2 = _two_piece_problem(query, [(1,)], [(7,)])
+        assert not satisfies_center_constraints(problem2, far, 0, budget=10_000)
+
+    def test_missing_feature_fails_even_with_budget(self, query):
+        graph = path_graph(["a", "b", "c", "d", "e"])
+        graph.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(3,)])
+        assert not satisfies_center_constraints(problem, graph, 99, budget=0)
+
+
+class TestEndToEndWithTinyBudget:
+    def test_answers_stay_exact(self, chem_db):
+        # Even a zero budget (pruning always gives up) cannot change the
+        # final answers — it only forfeits candidate reduction.
+        config = TreePiConfig(
+            SupportFunction(2, 2.0, 4), gamma=1.1, center_prune_budget=0, seed=2
+        )
+        index = TreePiIndex.build(chem_db, config)
+        scan = SequentialScan(chem_db)
+        for query in extract_query_workload(chem_db, 6, 6, seed=19):
+            assert index.query(query).matches == scan.support_set(query)

@@ -1,0 +1,69 @@
+"""Unit tests for IndexStats / QueryResult records."""
+
+import pytest
+
+from repro.core import IndexStats, QueryResult
+from repro.core.verification import VerificationStats
+from repro.mining import MiningStats
+
+
+class TestQueryResult:
+    def _result(self):
+        return QueryResult(
+            matches=frozenset({1, 4}),
+            partition_size=3,
+            sfq_size=5,
+            candidates_after_filter=9,
+            candidates_after_prune=6,
+            phase_seconds={"partition": 0.5, "filter": 0.25, "verification": 0.25},
+        )
+
+    def test_support(self):
+        assert self._result().support == 2
+
+    def test_total_seconds(self):
+        assert self._result().total_seconds == pytest.approx(1.0)
+
+    def test_false_positives(self):
+        assert self._result().false_positives_after_prune == 4
+
+    def test_defaults(self):
+        r = QueryResult(matches=frozenset())
+        assert not r.direct_hit
+        assert r.total_seconds == 0
+        assert isinstance(r.verification, VerificationStats)
+
+
+class TestIndexStats:
+    def _stats(self):
+        return IndexStats(
+            num_features=10,
+            features_by_size={1: 4, 3: 6},
+            total_center_locations=44,
+            build_seconds=1.5,
+            mining=MiningStats(patterns_per_level={1: 4, 2: 8, 3: 6}),
+            shrink_removed=8,
+        )
+
+    def test_max_feature_size(self):
+        assert self._stats().max_feature_size == 3
+
+    def test_max_feature_size_empty(self):
+        stats = IndexStats(
+            num_features=0,
+            features_by_size={},
+            total_center_locations=0,
+            build_seconds=0.0,
+            mining=MiningStats(),
+            shrink_removed=0,
+        )
+        assert stats.max_feature_size == 0
+
+
+class TestMiningStats:
+    def test_total_patterns(self):
+        stats = MiningStats(patterns_per_level={1: 3, 2: 7})
+        assert stats.total_patterns == 10
+
+    def test_empty(self):
+        assert MiningStats().total_patterns == 0

@@ -1,0 +1,76 @@
+"""Unit tests for the canonical-string prefix trie."""
+
+import pytest
+
+from repro.core import StringTrie
+
+
+@pytest.fixture
+def trie():
+    t = StringTrie()
+    t.insert("V:(a)", 0)
+    t.insert("V:(ab)", 1)
+    t.insert("E[1]:(a)|(b)", 2)
+    return t
+
+
+class TestBasics:
+    def test_get(self, trie):
+        assert trie.get("V:(a)") == 0
+        assert trie.get("V:(ab)") == 1
+        assert trie.get("nope") is None
+
+    def test_contains(self, trie):
+        assert "E[1]:(a)|(b)" in trie
+        assert "E[1]" not in trie  # prefix of a key is not a key
+
+    def test_len(self, trie):
+        assert len(trie) == 3
+
+    def test_overwrite_keeps_size(self, trie):
+        trie.insert("V:(a)", 99)
+        assert len(trie) == 3
+        assert trie.get("V:(a)") == 99
+
+    def test_empty_string_key(self):
+        t = StringTrie()
+        t.insert("", 5)
+        assert t.get("") == 5
+        assert len(t) == 1
+
+
+class TestRemove:
+    def test_remove_existing(self, trie):
+        assert trie.remove("V:(ab)")
+        assert "V:(ab)" not in trie
+        assert "V:(a)" in trie
+        assert len(trie) == 2
+
+    def test_remove_missing(self, trie):
+        assert not trie.remove("absent")
+        assert len(trie) == 3
+
+    def test_remove_prefix_key_keeps_longer(self, trie):
+        assert trie.remove("V:(a)")
+        assert trie.get("V:(ab)") == 1
+
+    def test_remove_prunes_branches(self):
+        t = StringTrie()
+        t.insert("abc", 1)
+        t.remove("abc")
+        assert not t._root.children  # fully pruned
+
+    def test_remove_non_key_prefix(self, trie):
+        assert not trie.remove("V:(")
+
+
+class TestPrefixEnumeration:
+    def test_items_with_prefix(self, trie):
+        items = dict(trie.items_with_prefix("V:"))
+        assert items == {"V:(a)": 0, "V:(ab)": 1}
+
+    def test_unknown_prefix(self, trie):
+        assert list(trie.items_with_prefix("zz")) == []
+
+    def test_keys_enumerates_all(self, trie):
+        assert sorted(trie.keys()) == sorted(["V:(a)", "V:(ab)", "E[1]:(a)|(b)"])

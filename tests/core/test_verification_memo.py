@@ -1,0 +1,77 @@
+"""Targeted tests for verification internals: memoization and shortcuts."""
+
+import pytest
+
+from repro.core import CenterConstraintProblem, VerificationStats, verify_candidate
+from repro.core.partition import Partition
+from repro.graphs import LabeledGraph, path_graph, star_graph
+
+from tests.core.test_verification import problem_for
+
+
+class TestMemoization:
+    def test_memo_hits_on_repeated_dead_ends(self):
+        """Symmetric embeddings of an early piece that bind the same vertex
+        set converge on one partial state; the second visit must memo-hit."""
+        # Query: hub h with two 'a' leaves (piece 1) plus an h-b edge
+        # (piece 2).  Host: an h(a,a) star with NO adjacent b, plus a
+        # detached h-b edge so piece 2 has a recorded location.
+        query = LabeledGraph(
+            ["h", "a", "a", "b"], [(0, 1, 1), (0, 2, 1), (0, 3, 1)]
+        )
+        host = LabeledGraph(
+            ["h", "a", "a", "h", "b"],
+            [(0, 1, 1), (0, 2, 1), (3, 4, 1)],
+        )
+        host.graph_id = 0
+        problem = problem_for(query, [[(0, 1), (0, 2)], [(0, 3)]], host, 0)
+        stats = VerificationStats()
+        assert not verify_candidate(query, problem, host, 0, stats)
+        # Piece 1 embeds twice (leaf swap) into the same vertex set; the
+        # second attempt hits the memoized piece-2 failure.
+        assert stats.memo_hits >= 1
+
+    def test_fully_seeded_shortcut_used(self):
+        """When overlap binds every vertex of a later piece, no embeddings
+        are enumerated for it (the edge-check shortcut runs instead)."""
+        query = path_graph(["a", "b", "c"])
+        host = path_graph(["a", "b", "c"])
+        host.graph_id = 0
+        # Piece 1 covers both edges' vertices; piece 2 is the single edge
+        # (1,2) whose vertices are already bound after piece 1.
+        problem = problem_for(query, [[(0, 1), (1, 2)], [(1, 2)]], host, 0)
+        stats = VerificationStats()
+        assert verify_candidate(query, problem, host, 0, stats)
+        # Only the big piece enumerates embeddings; the seeded single edge
+        # short-circuits.  (The big piece has at most 1 embedding here.)
+        assert stats.piece_embeddings_enumerated <= 2
+
+
+class TestDegenerateProblems:
+    def test_single_piece_problem(self):
+        query = path_graph(["a", "b"])
+        host = path_graph(["x", "a", "b"])
+        host.graph_id = 0
+        problem = problem_for(query, [[(0, 1)]], host, 0)
+        assert verify_candidate(query, problem, host, 0)
+
+    def test_all_pieces_same_feature(self):
+        # Query of two identical a-a edges sharing a middle vertex.
+        query = path_graph(["a", "a", "a"])
+        host = path_graph(["a", "a", "a", "a"])
+        host.graph_id = 0
+        problem = problem_for(query, [[(0, 1)], [(1, 2)]], host, 0)
+        assert verify_candidate(query, problem, host, 0)
+
+    def test_overlapping_pieces_share_two_vertices(self):
+        # Pieces overlap on an edge's both endpoints (edge in one piece,
+        # its endpoints reused by the other through shared vertices).
+        query = LabeledGraph(
+            ["a", "b", "c", "d"],
+            [(0, 1, 1), (1, 2, 1), (2, 3, 1), (0, 2, 2)],
+        )
+        host = query.copy()
+        host.graph_id = 0
+        piece_sets = [[(0, 1), (1, 2)], [(2, 3)], [(0, 2)]]
+        problem = problem_for(query, piece_sets, host, 0)
+        assert verify_candidate(query, problem, host, 0)

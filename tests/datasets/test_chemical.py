@@ -1,0 +1,82 @@
+"""Unit tests for the AIDS-like molecule generator."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datasets import (
+    ATOMS,
+    functional_group_library,
+    generate_aids_like,
+    generate_molecule,
+)
+
+
+class TestFunctionalGroupLibrary:
+    def test_fragments_are_connected(self):
+        for fragment in functional_group_library():
+            assert fragment.is_connected()
+
+    def test_benzene_present(self):
+        benzene = functional_group_library()[0]
+        assert benzene.num_vertices == 6
+        assert benzene.num_edges == 6
+        assert set(benzene.vertex_labels()) == {"C"}
+
+
+class TestGenerateMolecule:
+    def test_target_size_roughly_met(self, rng):
+        mol = generate_molecule(rng, 20, functional_group_library())
+        assert 10 <= mol.num_vertices <= 30
+
+    def test_valences_respected(self, rng):
+        valence = {label: v for label, v, _ in ATOMS}
+        for _ in range(10):
+            mol = generate_molecule(rng, 18, functional_group_library())
+            for u in mol.vertices():
+                # Count bond orders (double bonds cost 2).
+                used = sum(
+                    2 if lbl == 2 else 1 for _, lbl in mol.neighbor_items(u)
+                )
+                # force-bonded fragment edges may exceed by a small slack
+                assert used <= valence[mol.vertex_label(u)] + 1
+
+
+class TestGenerateAidsLike:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_aids_like(25, avg_atoms=16, seed=13)
+
+    def test_count_and_connectivity(self, db):
+        assert len(db) == 25
+        assert all(graph.is_connected() for graph in db)
+
+    def test_size_profile(self, db):
+        avg = sum(g.num_vertices for g in db) / len(db)
+        assert 10 <= avg <= 24
+
+    def test_carbon_dominates(self, db):
+        counts = Counter(
+            label for graph in db for label in graph.vertex_labels()
+        )
+        assert counts["C"] > sum(
+            count for label, count in counts.items() if label != "C"
+        )
+
+    def test_degree_bounded(self, db):
+        for graph in db:
+            assert max(graph.degree(v) for v in graph.vertices()) <= 4
+
+    def test_deterministic(self):
+        a = generate_aids_like(5, avg_atoms=12, seed=2)
+        b = generate_aids_like(5, avg_atoms=12, seed=2)
+        for gid in a.graph_ids():
+            assert a[gid].structure_equal(b[gid])
+
+    def test_shared_fragments_across_molecules(self, db):
+        from repro.mining import FrequentSubtreeMiner, SupportFunction
+
+        result = FrequentSubtreeMiner(db, SupportFunction(2, 1.0, 2)).mine()
+        best = max(result.patterns.values(), key=lambda p: p.support)
+        assert best.support >= len(db) // 2

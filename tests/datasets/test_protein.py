@@ -1,0 +1,72 @@
+"""Unit tests for the protein-interaction-network generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.core import TreePiConfig, TreePiIndex
+from repro.datasets import (
+    FAMILIES,
+    INTERACTIONS,
+    extract_query_workload,
+    generate_protein_networks,
+    pathway_motifs,
+)
+from repro.mining import SupportFunction
+
+
+class TestPathwayMotifs:
+    def test_motifs_well_formed(self):
+        for motif in pathway_motifs():
+            assert motif.is_connected()
+            assert set(motif.vertex_labels()) <= set(FAMILIES)
+            assert all(label in INTERACTIONS for _, _, label in motif.edges())
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_protein_networks(20, avg_proteins=14, seed=5)
+
+    def test_count_and_connectivity(self, db):
+        assert len(db) == 20
+        assert all(g.is_connected() for g in db)
+
+    def test_labels_from_vocabulary(self, db):
+        for g in db:
+            assert set(g.vertex_labels()) <= set(FAMILIES)
+            assert all(label in INTERACTIONS for _, _, label in g.edges())
+
+    def test_hub_structure(self, db):
+        # Preferential attachment should produce at least one vertex of
+        # degree >= 4 somewhere in the corpus (heavy tail).
+        max_degree = max(
+            g.degree(v) for g in db for v in g.vertices()
+        )
+        assert max_degree >= 4
+
+    def test_deterministic(self):
+        a = generate_protein_networks(4, avg_proteins=10, seed=3)
+        b = generate_protein_networks(4, avg_proteins=10, seed=3)
+        for gid in a.graph_ids():
+            assert a[gid].structure_equal(b[gid])
+
+    def test_motifs_recur(self, db):
+        from repro.mining import FrequentSubtreeMiner
+
+        result = FrequentSubtreeMiner(db, SupportFunction(2, 1.0, 2)).mine()
+        best = max(result.patterns.values(), key=lambda p: p.support)
+        assert best.support >= len(db) // 2
+
+
+class TestIndexing:
+    def test_treepi_exact_on_protein_networks(self):
+        db = generate_protein_networks(15, avg_proteins=12, seed=9)
+        index = TreePiIndex.build(
+            db, TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=1)
+        )
+        scan = SequentialScan(db)
+        for m in (2, 4, 6):
+            for query in extract_query_workload(db, m, 4, seed=m):
+                assert index.query(query).matches == scan.support_set(query)

@@ -1,0 +1,71 @@
+"""Unit tests for query workload generation."""
+
+import random
+
+import pytest
+
+from repro.baselines import SequentialScan
+from repro.datasets import (
+    extract_query,
+    extract_query_workload,
+    split_by_support,
+)
+from repro.exceptions import GraphError
+from repro.graphs import GraphDatabase, path_graph
+
+
+class TestExtractQuery:
+    def test_query_is_connected_with_m_edges(self, chem_db, rng):
+        for m in (2, 4, 6):
+            q = extract_query(chem_db, m, rng)
+            assert q.num_edges == m
+            assert q.is_connected()
+
+    def test_query_has_support(self, chem_db, rng):
+        scan = SequentialScan(chem_db)
+        for _ in range(5):
+            q = extract_query(chem_db, 4, rng)
+            assert len(scan.support_set(q)) >= 1
+
+    def test_too_large_raises(self, rng):
+        db = GraphDatabase([path_graph(["a", "b", "c"])])
+        with pytest.raises(GraphError):
+            extract_query(db, 10, rng)
+
+
+class TestExtractWorkload:
+    def test_workload_shape(self, chem_db):
+        wl = extract_query_workload(chem_db, 5, 7, seed=3)
+        assert len(wl) == 7
+        assert wl.num_edges == 5
+        assert wl.name == "Q5"
+        assert all(q.num_edges == 5 for q in wl)
+
+    def test_custom_name(self, chem_db):
+        wl = extract_query_workload(chem_db, 3, 2, seed=1, name="probe")
+        assert wl.name == "probe"
+
+    def test_deterministic(self, chem_db):
+        a = extract_query_workload(chem_db, 4, 5, seed=8)
+        b = extract_query_workload(chem_db, 4, 5, seed=8)
+        for qa, qb in zip(a, b):
+            assert qa.structure_equal(qb)
+
+
+class TestSplitBySupport:
+    def test_split(self, chem_db):
+        wl = extract_query_workload(chem_db, 4, 6, seed=5)
+        scan = SequentialScan(chem_db)
+        supports = [len(scan.support_set(q)) for q in wl]
+        threshold = sorted(supports)[len(supports) // 2] or 1
+        low, high = split_by_support(wl, supports, threshold=threshold)
+        assert len(low) + len(high) == len(wl)
+        assert low.name.endswith("-low")
+        assert high.name.endswith("-high")
+        for q in high:
+            assert len(scan.support_set(q)) >= threshold
+
+    def test_mismatched_lengths_raise(self, chem_db):
+        wl = extract_query_workload(chem_db, 4, 3, seed=5)
+        with pytest.raises(GraphError):
+            split_by_support(wl, [1, 2])

@@ -1,0 +1,100 @@
+"""Unit tests for the Kuramochi–Karypis synthetic generator."""
+
+import random
+
+import pytest
+
+from repro.datasets import SyntheticConfig, generate_synthetic_database, poisson, synthetic_database
+from repro.exceptions import ConfigError
+
+
+class TestPoisson:
+    def test_minimum_respected(self, rng):
+        for _ in range(50):
+            assert poisson(rng, 0.1, minimum=2) >= 2
+
+    def test_zero_mean(self, rng):
+        assert poisson(rng, 0, minimum=3) == 3
+
+    def test_mean_roughly_matches(self):
+        rng = random.Random(1)
+        samples = [poisson(rng, 8.0) for _ in range(3000)]
+        mean = sum(samples) / len(samples)
+        assert 7.0 < mean < 9.0
+
+
+class TestSyntheticConfig:
+    def test_name_formatting(self):
+        config = SyntheticConfig(
+            num_graphs=8000,
+            avg_seed_edges=10,
+            avg_graph_edges=20,
+            num_seeds=1000,
+            num_vertex_labels=40,
+        )
+        assert config.name == "D8kI10T20S1kL40"
+
+    def test_name_non_round(self):
+        config = SyntheticConfig(
+            num_graphs=250,
+            avg_seed_edges=5,
+            avg_graph_edges=12,
+            num_seeds=100,
+            num_vertex_labels=4,
+        )
+        assert config.name == "D250I5T12S100L4"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigError):
+            SyntheticConfig(0, 1, 1, 1, 1)
+
+
+class TestGeneration:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return synthetic_database(
+            30,
+            avg_seed_edges=5,
+            avg_graph_edges=14,
+            num_seeds=20,
+            num_vertex_labels=6,
+            seed=3,
+        )
+
+    def test_count(self, db):
+        assert len(db) == 30
+
+    def test_average_size_near_target(self, db):
+        assert 10 <= db.average_edge_count() <= 20
+
+    def test_labels_within_alphabet(self, db):
+        for graph in db:
+            assert all(0 <= l < 6 for l in graph.vertex_labels())
+
+    def test_graphs_connected(self, db):
+        assert all(graph.is_connected() for graph in db)
+
+    def test_deterministic(self):
+        a = synthetic_database(5, 4, 10, 10, 4, seed=9)
+        b = synthetic_database(5, 4, 10, 10, 4, seed=9)
+        for gid in a.graph_ids():
+            assert a[gid].structure_equal(b[gid])
+
+    def test_seed_changes_output(self):
+        a = synthetic_database(5, 4, 10, 10, 4, seed=9)
+        b = synthetic_database(5, 4, 10, 10, 4, seed=10)
+        assert any(
+            not a[g].structure_equal(b[g]) for g in a.graph_ids()
+        )
+
+    def test_shared_substructure_exists(self, db):
+        # Seed insertion must create repeated patterns: some 2-edge tree
+        # should occur in at least a third of the graphs.
+        from repro.mining import FrequentSubtreeMiner, SupportFunction
+
+        result = FrequentSubtreeMiner(db, SupportFunction(2, 1.0, 2)).mine()
+        best = max(
+            (p for p in result.patterns.values() if p.size == 2),
+            key=lambda p: p.support,
+        )
+        assert best.support >= len(db) // 3

@@ -1,0 +1,81 @@
+"""Unit tests for the directed labeled graph structure."""
+
+import pytest
+
+from repro.directed import DirectedLabeledGraph
+from repro.exceptions import GraphError
+
+
+@pytest.fixture
+def chain():
+    """a -> b -> c with distinct edge labels."""
+    return DirectedLabeledGraph(["a", "b", "c"], [(0, 1, "x"), (1, 2, "y")])
+
+
+class TestConstruction:
+    def test_directed_edge_one_way(self, chain):
+        assert chain.has_edge(0, 1)
+        assert not chain.has_edge(1, 0)
+
+    def test_antiparallel_pair_allowed(self):
+        g = DirectedLabeledGraph(["a", "b"], [(0, 1, 1), (1, 0, 2)])
+        assert g.edge_label(0, 1) == 1
+        assert g.edge_label(1, 0) == 2
+
+    def test_duplicate_directed_edge_rejected(self, chain):
+        with pytest.raises(GraphError):
+            chain.add_edge(0, 1, "z")
+
+    def test_self_loop_rejected(self, chain):
+        with pytest.raises(GraphError):
+            chain.add_edge(1, 1, "w")
+
+    def test_unknown_vertex_rejected(self, chain):
+        with pytest.raises(GraphError):
+            chain.add_edge(0, 9, "z")
+
+
+class TestAccessors:
+    def test_degrees(self, chain):
+        assert chain.out_degree(0) == 1 and chain.in_degree(0) == 0
+        assert chain.out_degree(1) == 1 and chain.in_degree(1) == 1
+        assert chain.degree(1) == 2
+
+    def test_out_and_in_items(self, chain):
+        assert dict(chain.out_items(1)) == {2: "y"}
+        assert dict(chain.in_items(1)) == {0: "x"}
+
+    def test_edges_iteration(self, chain):
+        assert sorted(chain.edges()) == [(0, 1, "x"), (1, 2, "y")]
+
+    def test_edge_label_missing(self, chain):
+        with pytest.raises(GraphError):
+            chain.edge_label(2, 0)
+
+
+class TestStructure:
+    def test_weak_connectivity(self, chain):
+        assert chain.is_weakly_connected()
+        g = DirectedLabeledGraph(["a", "b", "c"], [(0, 1, 1)])
+        assert not g.is_weakly_connected()
+
+    def test_copy_independent(self, chain):
+        c = chain.copy()
+        c.add_vertex("d")
+        assert chain.num_vertices == 3
+
+    def test_relabeled_preserves_direction(self, chain):
+        perm = [2, 0, 1]
+        h = chain.relabeled(perm)
+        assert h.has_edge(2, 0)  # old 0 -> 1
+        assert h.has_edge(0, 1)  # old 1 -> 2
+        assert not h.has_edge(0, 2)
+
+    def test_relabeled_requires_permutation(self, chain):
+        with pytest.raises(GraphError):
+            chain.relabeled([0, 0, 1])
+
+    def test_structure_equal(self, chain):
+        assert chain.structure_equal(chain.copy())
+        other = DirectedLabeledGraph(["a", "b", "c"], [(1, 0, "x"), (1, 2, "y")])
+        assert not chain.structure_equal(other)

@@ -1,0 +1,82 @@
+"""Unit tests for the XML-like directed dataset generator."""
+
+import random
+
+import pytest
+
+from repro.directed import (
+    DirectedGraphDatabase,
+    DirectedLabeledGraph,
+    extract_directed_query,
+    generate_document,
+    generate_xml_like,
+)
+from repro.directed.datasets import ATTRIBUTE_TAGS, CHILD, ELEMENT_TAGS
+from repro.exceptions import GraphError
+
+
+class TestGenerateDocument:
+    def test_rooted_at_article(self, rng):
+        doc = generate_document(rng, 8)
+        assert doc.vertex_label(0) == "article"
+        assert doc.in_degree(0) == 0 or any(
+            label == "ref" for _, label in doc.in_items(0)
+        )
+
+    def test_tags_from_vocabulary(self, rng):
+        doc = generate_document(rng, 10)
+        allowed = set(ELEMENT_TAGS) | set(ATTRIBUTE_TAGS)
+        assert set(doc.vertex_labels()) <= allowed
+
+    def test_child_edges_form_tree_backbone(self, rng):
+        doc = generate_document(rng, 12)
+        # Every non-root element has exactly one incoming child edge.
+        for v in doc.vertices():
+            child_parents = [
+                u for u, label in doc.in_items(v) if label == CHILD
+            ]
+            assert len(child_parents) <= 1
+
+    def test_weakly_connected(self, rng):
+        for _ in range(5):
+            assert generate_document(rng, 9).is_weakly_connected()
+
+
+class TestGenerateXmlLike:
+    def test_count_and_determinism(self):
+        a = generate_xml_like(6, avg_elements=7, seed=2)
+        b = generate_xml_like(6, avg_elements=7, seed=2)
+        assert len(a) == 6
+        for gid in a.graph_ids():
+            assert a[gid].structure_equal(b[gid])
+
+    def test_minimum_size(self):
+        db = generate_xml_like(5, avg_elements=4, seed=3)
+        assert all(g.num_edges >= 2 for g in db)
+
+
+class TestExtractDirectedQuery:
+    @pytest.fixture(scope="class")
+    def db(self):
+        return generate_xml_like(10, avg_elements=9, seed=4)
+
+    def test_query_shape(self, db, rng):
+        for m in (1, 2, 3):
+            q = extract_directed_query(db, m, rng)
+            assert q.num_edges == m
+            assert q.is_weakly_connected()
+
+    def test_query_actually_occurs(self, db, rng):
+        from repro.directed import is_directed_subgraph_isomorphic
+
+        for _ in range(5):
+            q = extract_directed_query(db, 2, rng)
+            assert any(is_directed_subgraph_isomorphic(q, g) for g in db)
+
+    def test_oversized_request_rejected(self, db, rng):
+        with pytest.raises(GraphError):
+            extract_directed_query(db, 10_000, rng)
+
+    def test_empty_database(self, rng):
+        with pytest.raises(GraphError):
+            extract_directed_query(DirectedGraphDatabase(), 2, rng)

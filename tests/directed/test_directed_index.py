@@ -1,0 +1,107 @@
+"""Integration tests for the directed TreePi index (Section 7.2)."""
+
+import random
+
+import pytest
+
+from repro.core import TreePiConfig
+from repro.directed import (
+    DirectedGraphDatabase,
+    DirectedLabeledGraph,
+    DirectedTreePiIndex,
+    extract_directed_query,
+    generate_document,
+    generate_xml_like,
+    is_directed_subgraph_isomorphic,
+)
+from repro.exceptions import GraphError, IndexError_
+from repro.mining import SupportFunction
+
+
+@pytest.fixture(scope="module")
+def xml_db():
+    return generate_xml_like(25, avg_elements=8, seed=19)
+
+
+@pytest.fixture(scope="module")
+def xml_index(xml_db):
+    config = TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=6)
+    return DirectedTreePiIndex.build(xml_db, config)
+
+
+def brute_force(db, query):
+    return frozenset(
+        g.graph_id for g in db if is_directed_subgraph_isomorphic(query, g)
+    )
+
+
+class TestBuild:
+    def test_empty_rejected(self):
+        with pytest.raises(IndexError_):
+            DirectedTreePiIndex.build(
+                DirectedGraphDatabase(), TreePiConfig(SupportFunction(2, 2.0, 3))
+            )
+
+    def test_stats_exposed(self, xml_index):
+        assert xml_index.feature_count() > 0
+        assert xml_index.stats.build_seconds > 0
+
+
+class TestQuery:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_matches_directed_brute_force(self, xml_db, xml_index, m):
+        rng = random.Random(m)
+        for _ in range(6):
+            query = extract_directed_query(xml_db, m, rng)
+            assert xml_index.query(query).matches == brute_force(xml_db, query)
+
+    def test_direction_sensitivity(self, xml_db, xml_index):
+        child = DirectedLabeledGraph(["article", "section"], [(0, 1, "child")])
+        reversed_child = DirectedLabeledGraph(
+            ["section", "article"], [(0, 1, "child")]
+        )
+        assert xml_index.query(child).matches == brute_force(xml_db, child)
+        assert xml_index.query(reversed_child).matches == brute_force(
+            xml_db, reversed_child
+        )
+
+    def test_empty_query_rejected(self, xml_index):
+        with pytest.raises(GraphError):
+            xml_index.query(DirectedLabeledGraph(["a"]))
+
+    def test_disconnected_query_rejected(self, xml_index):
+        q = DirectedLabeledGraph(
+            ["a", "b", "c", "d"], [(0, 1, 1), (2, 3, 1)]
+        )
+        with pytest.raises(GraphError):
+            xml_index.query(q)
+
+
+class TestMaintenance:
+    def test_insert_and_delete(self, xml_db):
+        config = TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=7)
+        db = generate_xml_like(10, avg_elements=7, seed=23)
+        index = DirectedTreePiIndex.build(db, config)
+        rng = random.Random(1)
+
+        new = generate_document(rng, 6)
+        gid = index.insert(new)
+        query = extract_directed_query(db, 2, rng)
+        assert index.query(query).matches == brute_force(db, query)
+
+        index.delete(gid)
+        assert gid not in db
+        assert index.query(query).matches == brute_force(db, query)
+
+    def test_rebuild_after_churn(self):
+        config = TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=8)
+        db = generate_xml_like(8, avg_elements=6, seed=29)
+        index = DirectedTreePiIndex.build(db, config)
+        rng = random.Random(2)
+        for _ in range(3):
+            index.insert(generate_document(rng, 5))
+        assert index.needs_rebuild()
+        rebuilt = index.rebuild()
+        assert rebuilt.churn_fraction == 0
+        query = extract_directed_query(db, 2, rng)
+        assert rebuilt.query(query).matches == brute_force(db, query)

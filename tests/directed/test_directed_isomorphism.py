@@ -1,0 +1,107 @@
+"""Unit tests for the directed matcher, cross-checked against networkx."""
+
+import random
+
+import pytest
+
+from repro.directed import (
+    DirectedLabeledGraph,
+    directed_isomorphic,
+    directed_monomorphisms,
+    is_directed_subgraph_isomorphic,
+)
+
+
+def to_networkx(g):
+    import networkx as nx
+
+    nxg = nx.DiGraph()
+    for v in g.vertices():
+        nxg.add_node(v, label=g.vertex_label(v))
+    for u, v, label in g.edges():
+        nxg.add_edge(u, v, label=label)
+    return nxg
+
+
+def nx_directed_monomorphic(pattern, target):
+    from networkx.algorithms import isomorphism as nxiso
+
+    gm = nxiso.DiGraphMatcher(
+        to_networkx(target),
+        to_networkx(pattern),
+        node_match=lambda a, b: a["label"] == b["label"],
+        edge_match=lambda a, b: a["label"] == b["label"],
+    )
+    return gm.subgraph_is_monomorphic()
+
+
+def random_digraph(rng, n, labels="ab", edge_labels=(1, 2)):
+    g = DirectedLabeledGraph([rng.choice(labels) for _ in range(n)])
+    for v in range(1, n):
+        parent = rng.randrange(v)
+        if rng.random() < 0.5:
+            g.add_edge(parent, v, rng.choice(edge_labels))
+        else:
+            g.add_edge(v, parent, rng.choice(edge_labels))
+    for _ in range(rng.randint(0, 3)):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, rng.choice(edge_labels))
+    return g
+
+
+class TestBasics:
+    def test_direction_respected(self):
+        forward = DirectedLabeledGraph(["a", "b"], [(0, 1, 1)])
+        backward = DirectedLabeledGraph(["b", "a"], [(0, 1, 1)])
+        host = DirectedLabeledGraph(["a", "b", "c"], [(0, 1, 1), (1, 2, 1)])
+        assert is_directed_subgraph_isomorphic(forward, host)
+        assert not is_directed_subgraph_isomorphic(backward, host)
+
+    def test_edge_label_respected(self):
+        pattern = DirectedLabeledGraph(["a", "b"], [(0, 1, 2)])
+        host = DirectedLabeledGraph(["a", "b"], [(0, 1, 1)])
+        assert not is_directed_subgraph_isomorphic(pattern, host)
+
+    def test_all_monomorphisms_valid(self):
+        rng = random.Random(3)
+        for _ in range(15):
+            pattern = random_digraph(rng, rng.randint(2, 4))
+            target = random_digraph(rng, rng.randint(3, 6))
+            for mapping in directed_monomorphisms(pattern, target, limit=10):
+                assert len(set(mapping.values())) == len(mapping)
+                for u, v, label in pattern.edges():
+                    assert target.has_edge(mapping[u], mapping[v])
+                    assert target.edge_label(mapping[u], mapping[v]) == label
+
+    def test_limit(self):
+        star_in = DirectedLabeledGraph(
+            ["h", "x", "x", "x"], [(1, 0, 1), (2, 0, 1), (3, 0, 1)]
+        )
+        edge = DirectedLabeledGraph(["x", "h"], [(0, 1, 1)])
+        assert len(list(directed_monomorphisms(edge, star_in))) == 3
+        assert len(list(directed_monomorphisms(edge, star_in, limit=2))) == 2
+
+
+class TestNetworkxCrossCheck:
+    def test_random_pairs_agree(self):
+        rng = random.Random(23)
+        for _ in range(40):
+            pattern = random_digraph(rng, rng.randint(2, 5))
+            target = random_digraph(rng, rng.randint(2, 6))
+            assert is_directed_subgraph_isomorphic(
+                pattern, target
+            ) == nx_directed_monomorphic(pattern, target)
+
+    def test_isomorphism_on_relabelings(self):
+        rng = random.Random(29)
+        for _ in range(20):
+            g = random_digraph(rng, rng.randint(2, 6))
+            perm = list(range(g.num_vertices))
+            rng.shuffle(perm)
+            assert directed_isomorphic(g, g.relabeled(perm))
+
+    def test_non_isomorphic_direction_flip(self):
+        g = DirectedLabeledGraph(["a", "a", "b"], [(0, 1, 1), (1, 2, 1)])
+        h = DirectedLabeledGraph(["a", "a", "b"], [(0, 1, 1), (2, 1, 1)])
+        assert not directed_isomorphic(g, h)

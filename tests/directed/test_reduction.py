@@ -1,0 +1,78 @@
+"""Unit tests for the subdivision reduction (directed ≡ undirected)."""
+
+import random
+
+import pytest
+
+from repro.directed import (
+    DirectedLabeledGraph,
+    MIDPOINT,
+    SRC,
+    TGT,
+    generate_document,
+    is_directed_subgraph_isomorphic,
+    subdivide,
+    subdivision_sizes,
+)
+from repro.exceptions import GraphError
+from repro.graphs import is_subgraph_isomorphic
+
+
+@pytest.fixture
+def edge():
+    return DirectedLabeledGraph(["a", "b"], [(0, 1, "x")])
+
+
+class TestSubdivide:
+    def test_sizes(self, edge):
+        skeleton = subdivide(edge)
+        assert skeleton.num_vertices == 3
+        assert skeleton.num_edges == 2
+        assert subdivision_sizes(edge) == (3, 2)
+
+    def test_midpoint_label_and_half_edges(self, edge):
+        skeleton = subdivide(edge)
+        mid = 2
+        assert skeleton.vertex_label(mid) == MIDPOINT
+        assert skeleton.edge_label(0, mid) == ("x", SRC)
+        assert skeleton.edge_label(mid, 1) == ("x", TGT)
+
+    def test_original_vertices_keep_ids(self):
+        g = DirectedLabeledGraph(["p", "q", "r"], [(0, 1, 1), (2, 1, 2)])
+        skeleton = subdivide(g)
+        for v in range(3):
+            assert skeleton.vertex_label(v) == g.vertex_label(v)
+
+    def test_reserved_label_rejected(self):
+        g = DirectedLabeledGraph([MIDPOINT, "a"], [(0, 1, 1)])
+        with pytest.raises(GraphError):
+            subdivide(g)
+
+    def test_graph_id_carried(self, edge):
+        edge.graph_id = 9
+        assert subdivide(edge).graph_id == 9
+
+
+class TestReductionTheorem:
+    def test_direction_preserved(self):
+        forward = DirectedLabeledGraph(["a", "b"], [(0, 1, 1)])
+        backward = DirectedLabeledGraph(["b", "a"], [(0, 1, 1)])
+        host = DirectedLabeledGraph(["a", "b"], [(0, 1, 1)])
+        assert is_subgraph_isomorphic(subdivide(forward), subdivide(host))
+        assert not is_subgraph_isomorphic(subdivide(backward), subdivide(host))
+
+    def test_matches_directed_oracle_on_random_documents(self):
+        rng = random.Random(17)
+        docs = [generate_document(rng, rng.randint(3, 7)) for _ in range(8)]
+        queries = [generate_document(rng, rng.randint(2, 4)) for _ in range(6)]
+        for q in queries:
+            for g in docs:
+                direct = is_directed_subgraph_isomorphic(q, g)
+                reduced = is_subgraph_isomorphic(subdivide(q), subdivide(g))
+                assert direct == reduced
+
+    def test_antiparallel_edges_distinct(self):
+        both = DirectedLabeledGraph(["a", "a"], [(0, 1, 1), (1, 0, 1)])
+        one = DirectedLabeledGraph(["a", "a"], [(0, 1, 1)])
+        assert is_subgraph_isomorphic(subdivide(one), subdivide(both))
+        assert not is_subgraph_isomorphic(subdivide(both), subdivide(one))

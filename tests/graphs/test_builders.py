@@ -1,0 +1,77 @@
+"""Unit tests for graph builders and networkx interop."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    cycle_graph,
+    from_networkx,
+    graph_from_edgelist,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+
+class TestBuilders:
+    def test_graph_from_edgelist(self):
+        g = graph_from_edgelist(["a", "b"], [(0, 1, "x")], graph_id=4)
+        assert g.graph_id == 4
+        assert g.edge_label(0, 1) == "x"
+
+    def test_path_graph(self):
+        p = path_graph(["a", "b", "c"], edge_label=9)
+        assert p.num_edges == 2
+        assert p.edge_label(1, 2) == 9
+        assert p.is_tree()
+
+    def test_single_vertex_path(self):
+        p = path_graph(["a"])
+        assert p.num_edges == 0
+
+    def test_star_graph(self):
+        s = star_graph("hub", ["l1", "l2", "l3"])
+        assert s.degree(0) == 3
+        assert s.vertex_label(0) == "hub"
+        assert s.is_tree()
+
+    def test_cycle_graph(self):
+        c = cycle_graph(["a"] * 4)
+        assert c.num_edges == 4
+        assert all(c.degree(v) == 2 for v in c.vertices())
+
+    def test_cycle_too_small(self):
+        with pytest.raises(GraphError):
+            cycle_graph(["a", "a"])
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, small_tree):
+        back = from_networkx(to_networkx(small_tree))
+        assert back.structure_equal(small_tree)
+
+    def test_labels_carried(self, triangle):
+        nxg = to_networkx(triangle)
+        assert nxg.nodes[2]["label"] == "N"
+        assert nxg.edges[2, 0]["label"] == 2
+
+    def test_from_networkx_renumbers_nodes(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node("x", label="a")
+        nxg.add_node("y", label="b")
+        nxg.add_edge("x", "y", label=3)
+        g = from_networkx(nxg, graph_id=1)
+        assert g.num_vertices == 2
+        assert g.graph_id == 1
+        assert g.edge_label(0, 1) == 3
+
+    def test_missing_edge_label_defaults(self):
+        import networkx as nx
+
+        nxg = nx.Graph()
+        nxg.add_node(0, label="a")
+        nxg.add_node(1, label="a")
+        nxg.add_edge(0, 1)
+        assert from_networkx(nxg).edge_label(0, 1) == 1

@@ -1,0 +1,101 @@
+"""Unit tests for minimum-DFS-code canonical labels of general graphs."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.graphs import (
+    LabeledGraph,
+    are_isomorphic,
+    canonical_label,
+    cycle_graph,
+    minimum_dfs_code,
+    path_graph,
+    star_graph,
+)
+
+
+def random_connected_graph(rng, n, labels="ab", edge_labels=(1, 2), extra=2):
+    g = LabeledGraph([rng.choice(labels) for _ in range(n)])
+    for v in range(1, n):
+        g.add_edge(v, rng.randrange(v), rng.choice(edge_labels))
+    candidates = [
+        (u, v)
+        for u, v in itertools.combinations(range(n), 2)
+        if not g.has_edge(u, v)
+    ]
+    rng.shuffle(candidates)
+    for u, v in candidates[: rng.randint(0, extra)]:
+        g.add_edge(u, v, rng.choice(edge_labels))
+    return g
+
+
+class TestMinimumDfsCode:
+    def test_empty_graph(self):
+        assert minimum_dfs_code(LabeledGraph()) == ()
+
+    def test_single_vertex(self):
+        code = minimum_dfs_code(LabeledGraph(["z"]))
+        assert len(code) == 1
+        assert "'z'" in code[0][2]
+
+    def test_isolated_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            minimum_dfs_code(LabeledGraph(["a", "b"]))
+
+    def test_disconnected_rejected(self):
+        g = LabeledGraph(["a", "b", "c", "d"], [(0, 1, 1), (2, 3, 1)])
+        with pytest.raises(ValueError):
+            minimum_dfs_code(g)
+
+    def test_code_length_equals_edge_count(self, triangle):
+        assert len(minimum_dfs_code(triangle)) == 3
+
+    def test_single_edge_orientation(self):
+        g = LabeledGraph(["b", "a"], [(0, 1, 1)])
+        code = minimum_dfs_code(g)
+        # the smaller vertex label must come first in the canonical code
+        assert code[0][2] == repr("a")
+        assert code[0][4] == repr("b")
+
+
+class TestCanonicalLabel:
+    def test_invariant_under_relabeling(self, triangle):
+        for perm in itertools.permutations(range(3)):
+            assert canonical_label(triangle.relabeled(list(perm))) == canonical_label(
+                triangle
+            )
+
+    def test_distinguishes_path_from_star(self):
+        assert canonical_label(path_graph(["a"] * 4)) != canonical_label(
+            star_graph("a", ["a", "a", "a"])
+        )
+
+    def test_distinguishes_edge_labels(self):
+        g1 = path_graph(["a", "a"], edge_label=1)
+        g2 = path_graph(["a", "a"], edge_label=2)
+        assert canonical_label(g1) != canonical_label(g2)
+
+    def test_cycle_label_stable_under_rotation(self):
+        c = cycle_graph(["a", "b", "a", "b"])
+        rotated = c.relabeled([1, 2, 3, 0])
+        assert canonical_label(c) == canonical_label(rotated)
+
+    def test_dead_end_regression(self):
+        # A shape where naive tuple-ordered greedy growth walks into a
+        # dead-end traversal: path a-b-c with pendants on both b and c.
+        g = LabeledGraph(
+            ["a", "a", "a", "a", "a"],
+            [(0, 1, 1), (1, 2, 1), (1, 3, 1), (2, 4, 1)],
+        )
+        label = canonical_label(g)  # must not raise
+        assert label == canonical_label(g.relabeled([4, 2, 0, 3, 1]))
+
+    def test_matches_isomorphism_oracle_on_random_graphs(self):
+        rng = random.Random(7)
+        graphs = [random_connected_graph(rng, rng.randint(2, 6)) for _ in range(25)]
+        for g1, g2 in itertools.combinations(graphs, 2):
+            assert (canonical_label(g1) == canonical_label(g2)) == are_isomorphic(
+                g1, g2
+            )

@@ -1,0 +1,130 @@
+"""Unit tests for the VF2-style monomorphism matcher."""
+
+import pytest
+
+from repro.graphs import (
+    LabeledGraph,
+    are_isomorphic,
+    automorphisms,
+    count_embeddings,
+    cycle_graph,
+    is_subgraph_isomorphic,
+    path_graph,
+    star_graph,
+    subgraph_monomorphisms,
+)
+
+
+class TestMonomorphisms:
+    def test_single_edge_in_triangle(self, triangle):
+        q = LabeledGraph(["C", "C"], [(0, 1, 1)])
+        # Edges (0,1) and (1,2) match labels C-C with edge label 1; the C-N
+        # edge (2,0) has label 2 and vertex N.  Matches: (0,1),(1,0),(1,... )
+        embs = list(subgraph_monomorphisms(q, triangle))
+        images = {frozenset(m.values()) for m in embs}
+        assert images == {frozenset({0, 1})}
+        assert len(embs) == 2  # both orientations
+
+    def test_edge_label_must_match(self, triangle):
+        q = LabeledGraph(["C", "N"], [(0, 1, 3)])
+        assert not is_subgraph_isomorphic(q, triangle)  # no C-N edge labeled 3
+
+    def test_vertex_label_must_match(self, triangle):
+        q = LabeledGraph(["O", "C"], [(0, 1, 1)])
+        assert not is_subgraph_isomorphic(q, triangle)
+
+    def test_non_induced_semantics(self):
+        # Pattern path a-b-c embeds into the labeled triangle even though
+        # the triangle has an extra a-c edge (edge subgraph, Definition 3).
+        pattern = path_graph(["a", "b", "c"])
+        target = LabeledGraph(["a", "b", "c"], [(0, 1, 1), (1, 2, 1), (0, 2, 1)])
+        assert is_subgraph_isomorphic(pattern, target)
+
+    def test_pattern_larger_than_target(self):
+        assert not is_subgraph_isomorphic(
+            path_graph(["a"] * 4), path_graph(["a"] * 3)
+        )
+
+    def test_empty_pattern_yields_nothing(self, triangle):
+        assert list(subgraph_monomorphisms(LabeledGraph(), triangle)) == []
+
+    def test_seed_restricts_results(self, triangle):
+        q = LabeledGraph(["C", "C"], [(0, 1, 1)])
+        embs = list(subgraph_monomorphisms(q, triangle, seed={0: 0}))
+        assert embs == [{0: 0, 1: 1}]
+
+    def test_bad_seed_label(self, triangle):
+        q = LabeledGraph(["C", "C"], [(0, 1, 1)])
+        assert list(subgraph_monomorphisms(q, triangle, seed={0: 2})) == []
+
+    def test_bad_seed_edge(self, triangle):
+        q = LabeledGraph(["C", "N"], [(0, 1, 1)])  # C-N with label 1 absent
+        assert list(subgraph_monomorphisms(q, triangle, seed={0: 0, 1: 2})) == []
+
+    def test_seed_with_duplicate_targets_rejected(self):
+        q = path_graph(["a", "a", "a"])
+        t = path_graph(["a", "a", "a", "a"])
+        assert list(subgraph_monomorphisms(q, t, seed={0: 1, 2: 1})) == []
+
+    def test_limit(self):
+        q = LabeledGraph(["a", "a"], [(0, 1, 1)])
+        t = cycle_graph(["a"] * 6)
+        assert len(list(subgraph_monomorphisms(q, t))) == 12
+        assert len(list(subgraph_monomorphisms(q, t, limit=5))) == 5
+
+    def test_disconnected_pattern(self):
+        pattern = LabeledGraph(["a", "b", "a", "b"], [(0, 1, 1), (2, 3, 1)])
+        target = path_graph(["a", "b", "a", "b"])
+        assert is_subgraph_isomorphic(pattern, target)
+
+    def test_count_embeddings(self):
+        star = star_graph("h", ["x", "x"])
+        target = star_graph("h", ["x", "x", "x"])
+        # choose 2 ordered leaves of 3: 6 embeddings
+        assert count_embeddings(star, target) == 6
+
+
+class TestIsomorphism:
+    def test_relabeled_graphs_isomorphic(self, small_tree):
+        assert are_isomorphic(small_tree, small_tree.relabeled([2, 0, 4, 1, 3]))
+
+    def test_different_sizes_not_isomorphic(self):
+        assert not are_isomorphic(path_graph(["a"] * 3), path_graph(["a"] * 4))
+
+    def test_same_sizes_different_structure(self):
+        p4 = path_graph(["a"] * 4)
+        s3 = star_graph("a", ["a", "a", "a"])
+        assert not are_isomorphic(p4, s3)
+
+    def test_edge_label_sensitivity(self):
+        g1 = path_graph(["a", "a", "a"], edge_label=1)
+        g2 = LabeledGraph(["a", "a", "a"], [(0, 1, 1), (1, 2, 2)])
+        assert not are_isomorphic(g1, g2)
+
+    def test_cycle_vs_path_plus_edge(self):
+        c4 = cycle_graph(["a"] * 4)
+        other = LabeledGraph(["a"] * 4, [(0, 1, 1), (1, 2, 1), (2, 3, 1), (1, 3, 1)])
+        assert not are_isomorphic(c4, other)
+
+
+class TestAutomorphisms:
+    def test_identity_always_present(self, small_tree):
+        auts = automorphisms(small_tree)
+        assert {v: v for v in small_tree.vertices()} in auts
+
+    def test_path_with_symmetric_labels(self):
+        p = path_graph(["a", "b", "a"])
+        auts = automorphisms(p)
+        assert len(auts) == 2  # identity and the flip
+
+    def test_asymmetric_path(self):
+        p = path_graph(["a", "b", "c"])
+        assert len(automorphisms(p)) == 1
+
+    def test_uniform_cycle(self):
+        c = cycle_graph(["a"] * 5)
+        assert len(automorphisms(c)) == 10  # dihedral group D5
+
+    def test_star_symmetry(self):
+        s = star_graph("h", ["x", "x", "x"])
+        assert len(automorphisms(s)) == 6  # S3 on the leaves

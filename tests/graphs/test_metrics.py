@@ -1,0 +1,97 @@
+"""Unit tests for graph/database descriptive statistics."""
+
+from collections import Counter
+
+import pytest
+
+from repro.graphs import (
+    GraphDatabase,
+    LabeledGraph,
+    cycle_graph,
+    cyclomatic_number,
+    degree_histogram,
+    graph_density,
+    label_entropy,
+    path_graph,
+    profile_database,
+    star_graph,
+)
+
+
+class TestLabelEntropy:
+    def test_empty(self):
+        assert label_entropy(Counter()) == 0.0
+
+    def test_single_symbol(self):
+        assert label_entropy(Counter({"a": 10})) == 0.0
+
+    def test_uniform_two_symbols(self):
+        assert label_entropy(Counter({"a": 5, "b": 5})) == pytest.approx(1.0)
+
+    def test_skew_lowers_entropy(self):
+        uniform = label_entropy(Counter({"a": 5, "b": 5}))
+        skewed = label_entropy(Counter({"a": 9, "b": 1}))
+        assert skewed < uniform
+
+
+class TestGraphMetrics:
+    def test_degree_histogram(self):
+        star = star_graph("h", ["x"] * 4)
+        assert degree_histogram(star) == {4: 1, 1: 4}
+
+    def test_density(self):
+        assert graph_density(cycle_graph(["a"] * 4)) == pytest.approx(4 / 6)
+        assert graph_density(LabeledGraph(["a"])) == 0.0
+
+    def test_cyclomatic_number(self):
+        assert cyclomatic_number(path_graph(["a"] * 5)) == 0
+        assert cyclomatic_number(cycle_graph(["a"] * 5)) == 1
+        two_components = LabeledGraph(["a"] * 4, [(0, 1, 1), (2, 3, 1)])
+        assert cyclomatic_number(two_components) == 0
+
+
+class TestProfileDatabase:
+    @pytest.fixture
+    def db(self):
+        return GraphDatabase([
+            path_graph(["a", "b", "a"]),
+            cycle_graph(["a", "a", "b"]),
+            star_graph("h", ["a", "a"]),
+        ])
+
+    def test_counts(self, db):
+        profile = profile_database(db)
+        assert profile.num_graphs == 3
+        assert profile.total_vertices == 9
+        assert profile.total_edges == 7
+        assert profile.avg_edges == pytest.approx(7 / 3)
+
+    def test_labels(self, db):
+        profile = profile_database(db)
+        assert profile.vertex_label_counts["a"] == 6
+        assert profile.num_vertex_labels == 3  # a, b, h
+        assert profile.dominant_vertex_labels(1) == [("a", 6)]
+
+    def test_tree_fraction(self, db):
+        assert profile_database(db).tree_fraction == pytest.approx(2 / 3)
+
+    def test_max_degree(self, db):
+        assert profile_database(db).max_degree == 2
+
+    def test_describe(self, db):
+        text = profile_database(db).describe()
+        assert "3 graphs" in text
+        assert "labels" in text
+
+    def test_empty_database(self):
+        profile = profile_database(GraphDatabase())
+        assert profile.num_graphs == 0
+        assert profile.avg_edges == 0.0
+        assert profile.vertex_label_entropy == 0.0
+
+    def test_chemical_profile_shape(self, chem_db):
+        profile = profile_database(chem_db)
+        # Molecule-like data: carbon-dominant, degree <= 4, mostly sparse.
+        assert profile.dominant_vertex_labels(1)[0][0] == "C"
+        assert profile.max_degree <= 4
+        assert profile.avg_density < 0.5

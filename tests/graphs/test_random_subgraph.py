@@ -1,0 +1,82 @@
+"""Unit tests for random connected subgraph extraction."""
+
+import random
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graphs import (
+    LabeledGraph,
+    cycle_graph,
+    path_graph,
+    random_connected_edge_subset,
+    random_connected_subgraph,
+    random_spanning_tree_edges,
+)
+
+
+class TestRandomConnectedEdgeSubset:
+    def test_result_is_connected_and_right_size(self, rng):
+        c = cycle_graph(["a"] * 8)
+        for k in range(1, 9):
+            keys = random_connected_edge_subset(c, k, rng)
+            assert len(keys) == k
+            sub, _ = c.subgraph_from_edges(keys)
+            assert sub.is_connected()
+
+    def test_start_edge_respected(self, rng):
+        p = path_graph(["a"] * 6)
+        keys = random_connected_edge_subset(p, 3, rng, start_edge=(0, 1))
+        assert (0, 1) in keys
+
+    def test_too_many_edges_raises(self, rng):
+        p = path_graph(["a"] * 3)
+        with pytest.raises(GraphError):
+            random_connected_edge_subset(p, 5, rng)
+
+    def test_component_bound_raises(self, rng):
+        g = LabeledGraph(["a"] * 4, [(0, 1, 1), (2, 3, 1)])
+        with pytest.raises(GraphError):
+            random_connected_edge_subset(g, 2, rng, start_edge=(0, 1))
+
+    def test_zero_edges_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_connected_edge_subset(path_graph(["a", "a"]), 0, rng)
+
+    def test_edgeless_graph_rejected(self, rng):
+        with pytest.raises(GraphError):
+            random_connected_edge_subset(LabeledGraph(["a"]), 1, rng)
+
+
+class TestRandomConnectedSubgraph:
+    def test_subgraph_properties(self, rng):
+        c = cycle_graph(["x", "y"] * 4)
+        for _ in range(20):
+            sub = random_connected_subgraph(c, 4, rng)
+            assert sub.num_edges == 4
+            assert sub.is_connected()
+            assert set(sub.vertex_labels()) <= {"x", "y"}
+
+    def test_deterministic_for_fixed_seed(self):
+        c = cycle_graph(["a"] * 10)
+        s1 = random_connected_subgraph(c, 5, random.Random(3))
+        s2 = random_connected_subgraph(c, 5, random.Random(3))
+        assert s1.structure_equal(s2)
+
+
+class TestRandomSpanningTree:
+    def test_spanning_tree_shape(self, rng):
+        c = cycle_graph(["a"] * 7)
+        edges = random_spanning_tree_edges(c, rng)
+        assert len(edges) == 6
+        sub, _ = c.subgraph_from_edges(edges)
+        assert sub.is_tree()
+        assert sub.num_vertices == 7
+
+    def test_empty_graph(self, rng):
+        assert random_spanning_tree_edges(LabeledGraph(), rng) == []
+
+    def test_disconnected_rejected(self, rng):
+        g = LabeledGraph(["a"] * 4, [(0, 1, 1), (2, 3, 1)])
+        with pytest.raises(GraphError):
+            random_spanning_tree_edges(g, rng)

@@ -1,0 +1,84 @@
+"""Unit tests for the gSpan-style text serialization."""
+
+import pytest
+
+from repro.exceptions import SerializationError
+from repro.graphs import (
+    GraphDatabase,
+    LabeledGraph,
+    dumps_database,
+    load_database,
+    loads_database,
+    save_database,
+)
+
+
+@pytest.fixture
+def sample_db(triangle, small_tree):
+    return GraphDatabase([triangle, small_tree])
+
+
+class TestRoundTrip:
+    def test_dumps_then_loads(self, sample_db):
+        text = dumps_database(sample_db)
+        restored = loads_database(text)
+        assert len(restored) == 2
+        for gid in (0, 1):
+            assert restored[gid].structure_equal(sample_db[gid])
+
+    def test_file_roundtrip(self, sample_db, tmp_path):
+        path = tmp_path / "db.txt"
+        save_database(sample_db, path)
+        restored = load_database(path)
+        assert len(restored) == len(sample_db)
+        assert restored[0].structure_equal(sample_db[0])
+
+    def test_integer_labels_restored_as_ints(self):
+        g = LabeledGraph([1, 2], [(0, 1, 7)])
+        restored = loads_database(dumps_database(GraphDatabase([g])))
+        assert restored[0].vertex_label(0) == 1
+        assert restored[0].edge_label(0, 1) == 7
+
+    def test_string_labels_preserved(self):
+        g = LabeledGraph(["C", "Cl"], [(0, 1, "aromatic")])
+        restored = loads_database(dumps_database(GraphDatabase([g])))
+        assert restored[0].vertex_label(1) == "Cl"
+        assert restored[0].edge_label(0, 1) == "aromatic"
+
+
+class TestFormat:
+    def test_header_lines(self, sample_db):
+        text = dumps_database(sample_db)
+        assert text.startswith("t # 0\n")
+        assert "t # 1" in text
+
+    def test_blank_lines_and_comments_skipped(self):
+        text = "t # 0\n\n# a comment\nv 0 a\nv 1 b\ne 0 1 1\n"
+        db = loads_database(text)
+        assert db[0].num_edges == 1
+
+
+class TestErrors:
+    def test_vertex_before_header(self):
+        with pytest.raises(SerializationError):
+            loads_database("v 0 a\n")
+
+    def test_edge_before_header(self):
+        with pytest.raises(SerializationError):
+            loads_database("e 0 1 x\n")
+
+    def test_non_consecutive_vertex_ids(self):
+        with pytest.raises(SerializationError):
+            loads_database("t # 0\nv 5 a\n")
+
+    def test_unknown_record_kind(self):
+        with pytest.raises(SerializationError):
+            loads_database("t # 0\nq nonsense\n")
+
+    def test_truncated_edge_line(self):
+        with pytest.raises(SerializationError):
+            loads_database("t # 0\nv 0 a\nv 1 a\ne 0 1\n")
+
+    def test_bad_header(self):
+        with pytest.raises(SerializationError):
+            loads_database("t # zero\n")

@@ -1,0 +1,102 @@
+"""End-to-end integration: every query system agrees with sequential scan.
+
+The single most important invariant in the repository (DESIGN.md): for any
+database and any connected query, ``TreePiIndex.query`` returns exactly
+the support set — no false positives (soundness) and no false negatives
+(completeness) — and so do both baselines.
+"""
+
+import pytest
+
+from repro.baselines import (
+    GIndexBaseline,
+    GIndexConfig,
+    GraphGrepBaseline,
+    GraphGrepConfig,
+    SequentialScan,
+)
+from repro.core import TreePiConfig, TreePiIndex
+from repro.datasets import extract_query_workload, generate_aids_like, synthetic_database
+from repro.mining import SupportFunction
+
+
+@pytest.fixture(scope="module")
+def chem():
+    db = generate_aids_like(25, avg_atoms=14, seed=51)
+    return {
+        "db": db,
+        "scan": SequentialScan(db),
+        "treepi": TreePiIndex.build(
+            db, TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=1)
+        ),
+        "gindex": GIndexBaseline.build(db, GIndexConfig(max_size=4)),
+        "graphgrep": GraphGrepBaseline(db, GraphGrepConfig(max_length=3)),
+    }
+
+
+@pytest.fixture(scope="module")
+def synth():
+    db = synthetic_database(
+        20, avg_seed_edges=4, avg_graph_edges=10, num_seeds=10,
+        num_vertex_labels=3, seed=4,
+    )
+    return {
+        "db": db,
+        "scan": SequentialScan(db),
+        "treepi": TreePiIndex.build(
+            db, TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=2)
+        ),
+        "gindex": GIndexBaseline.build(db, GIndexConfig(max_size=4)),
+        "graphgrep": GraphGrepBaseline(db, GraphGrepConfig(max_length=3)),
+    }
+
+
+@pytest.mark.parametrize("m", [2, 3, 5, 7, 9])
+def test_chemical_agreement(chem, m):
+    for query in extract_query_workload(chem["db"], m, 6, seed=m * 13):
+        truth = chem["scan"].support_set(query)
+        assert chem["treepi"].query(query).matches == truth
+        assert chem["gindex"].query(query).matches == truth
+        assert chem["graphgrep"].query(query).matches == truth
+
+
+@pytest.mark.parametrize("m", [2, 4, 6])
+def test_synthetic_agreement(synth, m):
+    # Low label diversity: many automorphism-heavy candidates, the hardest
+    # regime for partition-based verification.
+    for query in extract_query_workload(synth["db"], m, 6, seed=m * 7):
+        truth = synth["scan"].support_set(query)
+        assert synth["treepi"].query(query).matches == truth
+        assert synth["gindex"].query(query).matches == truth
+        assert synth["graphgrep"].query(query).matches == truth
+
+
+def test_whole_graph_queries(chem):
+    # Each database graph queried against the database must match itself.
+    for gid in chem["db"].graph_ids()[:6]:
+        query = chem["db"][gid]
+        if not query.is_connected():
+            continue
+        result = chem["treepi"].query(query)
+        assert gid in result.matches
+        assert result.matches == chem["scan"].support_set(query)
+
+
+def test_candidate_funnel_ordering(chem):
+    # |Dq| <= |P'q| <= |Pq| <= N for every non-direct-hit query.
+    n = len(chem["db"])
+    for query in extract_query_workload(chem["db"], 6, 10, seed=77):
+        r = chem["treepi"].query(query)
+        if r.direct_hit:
+            continue
+        assert len(r.matches) <= r.candidates_after_prune
+        assert r.candidates_after_prune <= r.candidates_after_filter <= n
+
+
+def test_treepi_beats_scan_on_candidates(chem):
+    # The filter must actually reduce the database for selective queries.
+    reductions = []
+    for query in extract_query_workload(chem["db"], 8, 8, seed=31):
+        r = chem["treepi"].query(query)
+        reductions.append(r.candidates_after_prune / len(chem["db"]))
+    assert min(reductions) < 0.5

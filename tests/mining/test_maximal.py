@@ -1,0 +1,43 @@
+"""Unit tests for maximal frequent pattern extraction."""
+
+from repro.graphs import GraphDatabase, path_graph
+from repro.mining import FrequentSubtreeMiner, SupportFunction
+from repro.trees import tree_canonical_string
+
+
+class TestMaximalPatterns:
+    def test_single_chain(self):
+        # Two copies of a 3-edge path: the path itself is the only maximal
+        # frequent tree at sigma=2-everywhere.
+        g = path_graph(["a", "b", "c", "d"])
+        db = GraphDatabase([g, g.copy()])
+        result = FrequentSubtreeMiner(db, SupportFunction(3, 1.0, 3)).mine()
+        maximal = result.maximal_patterns()
+        keys = {p.key for p in maximal}
+        assert tree_canonical_string(g) in keys
+        # No proper subtree of the path may be reported maximal.
+        assert tree_canonical_string(path_graph(["a", "b"])) not in keys
+
+    def test_two_incomparable_maximal(self):
+        g1 = path_graph(["a", "b", "c"])
+        g2 = path_graph(["x", "y", "z"])
+        db = GraphDatabase([g1.copy(), g1.copy(), g2.copy(), g2.copy()])
+        result = FrequentSubtreeMiner(db, SupportFunction(2, 1.0, 2)).mine()
+        keys = {p.key for p in result.maximal_patterns()}
+        assert tree_canonical_string(g1) in keys
+        assert tree_canonical_string(g2) in keys
+
+    def test_maximal_subset_of_all(self, chem_db):
+        result = FrequentSubtreeMiner(chem_db, SupportFunction(2, 2.0, 3)).mine()
+        maximal = result.maximal_patterns()
+        assert maximal
+        assert len(maximal) < len(result.patterns)
+        all_keys = set(result.patterns)
+        assert all(p.key in all_keys for p in maximal)
+
+    def test_top_size_always_maximal(self, chem_db):
+        result = FrequentSubtreeMiner(chem_db, SupportFunction(2, 2.0, 3)).mine()
+        top = result.max_size()
+        maximal_keys = {p.key for p in result.maximal_patterns()}
+        for pattern in result.by_size(top):
+            assert pattern.key in maximal_keys

@@ -1,0 +1,78 @@
+"""Unit tests for the σ(s) support threshold function (Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigError
+from repro.mining import PAPER_AIDS_SUPPORT, SupportFunction
+
+
+class TestSupportFunction:
+    def test_unit_threshold_up_to_alpha(self):
+        sigma = SupportFunction(alpha=3, beta=2.0, eta=8)
+        assert sigma(1) == 1
+        assert sigma(2) == 1
+        assert sigma(3) == 1
+
+    def test_linear_ramp(self):
+        sigma = SupportFunction(alpha=3, beta=2.0, eta=8)
+        # 1 + beta*s - alpha*beta
+        assert sigma(4) == 1 + 2.0 * 4 - 6.0
+        assert sigma(8) == 1 + 2.0 * 8 - 6.0
+
+    def test_infinite_beyond_eta(self):
+        sigma = SupportFunction(alpha=2, beta=1.0, eta=5)
+        assert sigma(6) == math.inf
+        assert sigma(100) == math.inf
+
+    def test_continuity_at_alpha(self):
+        # At s = alpha the ramp formula evaluates to exactly 1.
+        sigma = SupportFunction(alpha=4, beta=3.0, eta=9)
+        ramp_at_alpha = 1 + sigma.beta * 4 - sigma.alpha * sigma.beta
+        assert ramp_at_alpha == sigma(4) == 1
+
+    def test_non_decreasing(self):
+        sigma = SupportFunction(alpha=2, beta=2.5, eta=7)
+        values = [sigma(s) for s in range(1, 9)]
+        assert values == sorted(values)
+
+    def test_max_size(self):
+        assert SupportFunction(2, 1.0, 6).max_size == 6
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigError):
+            SupportFunction(2, 1.0, 6)(0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_alpha(self):
+        with pytest.raises(ConfigError):
+            SupportFunction(alpha=0, beta=1.0, eta=3)
+
+    def test_rejects_nonpositive_beta(self):
+        with pytest.raises(ConfigError):
+            SupportFunction(alpha=1, beta=0.0, eta=3)
+
+    def test_rejects_eta_below_alpha(self):
+        with pytest.raises(ConfigError):
+            SupportFunction(alpha=5, beta=1.0, eta=3)
+
+
+class TestHeuristics:
+    def test_paper_heuristic_ranges(self):
+        sigma = SupportFunction.paper_heuristic(
+            avg_query_size=16, avg_database_size=27
+        )
+        assert sigma.alpha == 6  # 3*16/8
+        assert sigma.eta == 16   # min(16, 27)
+
+    def test_paper_heuristic_floors(self):
+        sigma = SupportFunction.paper_heuristic(avg_query_size=2, avg_database_size=2)
+        assert sigma.alpha >= 1
+        assert sigma.eta >= sigma.alpha
+
+    def test_paper_aids_constant(self):
+        assert PAPER_AIDS_SUPPORT.alpha == 5
+        assert PAPER_AIDS_SUPPORT.beta == 2.0
+        assert PAPER_AIDS_SUPPORT.eta == 10

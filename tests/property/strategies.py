@@ -1,0 +1,41 @@
+"""Hypothesis strategies for random labeled graphs and trees."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.graphs import LabeledGraph
+
+VERTEX_LABELS = ("a", "b", "c")
+EDGE_LABELS = (1, 2)
+
+
+@st.composite
+def labeled_trees(draw, min_vertices=1, max_vertices=9):
+    """A uniformly-shaped random labeled tree (Prüfer-ish attachment)."""
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = [draw(st.sampled_from(VERTEX_LABELS)) for _ in range(n)]
+    tree = LabeledGraph(labels)
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        tree.add_edge(v, parent, draw(st.sampled_from(EDGE_LABELS)))
+    return tree
+
+
+@st.composite
+def connected_graphs(draw, min_vertices=2, max_vertices=8, max_extra_edges=3):
+    """A random connected labeled graph: a tree plus a few chords."""
+    graph = draw(labeled_trees(min_vertices, max_vertices))
+    n = graph.num_vertices
+    extra = draw(st.integers(0, max_extra_edges))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v, draw(st.sampled_from(EDGE_LABELS)))
+    return graph
+
+
+@st.composite
+def permutations_of(draw, n):
+    return draw(st.permutations(list(range(n))))

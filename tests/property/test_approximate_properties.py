@@ -1,0 +1,63 @@
+"""Property-based tests for the relaxed-query engine."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.approximate import RelaxedQueryEngine, relaxed_patterns
+from repro.core import TreePiConfig, TreePiIndex
+from repro.graphs import GraphDatabase, random_connected_subgraph
+from repro.mining import SupportFunction
+
+from tests.property.strategies import connected_graphs
+
+
+@st.composite
+def engine_and_query(draw):
+    graphs = draw(
+        st.lists(connected_graphs(min_vertices=3, max_vertices=6), min_size=2,
+                 max_size=4)
+    )
+    db = GraphDatabase([g.copy() for g in graphs])
+    index = TreePiIndex.build(
+        db, TreePiConfig(SupportFunction(2, 2.0, 3), gamma=1.1, seed=1)
+    )
+    host = graphs[draw(st.integers(0, len(graphs) - 1))]
+    m = draw(st.integers(2, max(2, min(4, host.num_edges))))
+    query = random_connected_subgraph(
+        host, min(m, host.num_edges), random.Random(draw(st.integers(0, 99)))
+    )
+    return RelaxedQueryEngine(index), query
+
+
+@given(engine_and_query())
+@settings(max_examples=25, deadline=None)
+def test_relaxation_monotone_and_levels_consistent(data):
+    engine, query = data
+    k = min(2, query.num_edges - 1)
+    answers = engine.query(query, k)
+    exact = engine.query(query, 0)
+    # Level-0 hits agree with the exact engine and carry level 0.
+    assert {g for g, lvl in answers.items() if lvl == 0} == set(exact)
+    # Levels never exceed the cap and shrink monotonically with k.
+    assert all(0 <= lvl <= k for lvl in answers.values())
+    for smaller in range(k):
+        subset = engine.query(query, smaller)
+        assert set(subset) <= set(answers)
+        for gid, lvl in subset.items():
+            assert answers[gid] == lvl
+
+
+@given(connected_graphs(min_vertices=3, max_vertices=7))
+@settings(max_examples=40, deadline=None)
+def test_relaxed_patterns_cover_every_deletion(query):
+    if query.num_edges < 2:
+        return
+    patterns = relaxed_patterns(query, 1)
+    # Each pattern has exactly |E|-1 edges and no isolated vertices.
+    for pattern, _ in patterns:
+        assert pattern.num_edges == query.num_edges - 1
+        assert all(pattern.degree(v) >= 1 for v in pattern.vertices())
+    # Dedup never produces more patterns than deletions.
+    assert 1 <= len(patterns) <= query.num_edges

@@ -1,0 +1,60 @@
+"""Property-based tests for the B+-tree against a dict oracle."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import BPlusTree
+
+keys = st.text(alphabet="abcdef", min_size=0, max_size=6)
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "remove", "get"]), keys,
+              st.integers(0, 99)),
+    max_size=80,
+)
+
+
+@given(ops, st.integers(3, 8))
+@settings(max_examples=60, deadline=None)
+def test_matches_dict_oracle(operations, order):
+    tree = BPlusTree(order=order)
+    oracle = {}
+    for op, key, value in operations:
+        if op == "insert":
+            tree.insert(key, value)
+            oracle[key] = value
+        elif op == "remove":
+            assert tree.remove(key) == (key in oracle)
+            oracle.pop(key, None)
+        else:
+            assert tree.get(key) == oracle.get(key)
+    assert len(tree) == len(oracle)
+    assert list(tree.keys()) == sorted(oracle)
+    tree.check_invariants()
+
+
+@given(st.lists(st.tuples(keys, st.integers(0, 9)), max_size=60),
+       keys, keys)
+@settings(max_examples=60, deadline=None)
+def test_range_scan_matches_oracle(entries, low, high):
+    if low > high:
+        low, high = high, low
+    tree = BPlusTree(order=4)
+    oracle = {}
+    for key, value in entries:
+        tree.insert(key, value)
+        oracle[key] = value
+    expected = sorted(
+        (k, v) for k, v in oracle.items() if low <= k < high
+    )
+    assert list(tree.range(low, high)) == expected
+
+
+@given(st.lists(keys, max_size=50), keys)
+@settings(max_examples=60, deadline=None)
+def test_prefix_scan_matches_oracle(inserted, prefix):
+    tree = BPlusTree(order=5)
+    for i, key in enumerate(inserted):
+        tree.insert(key, i)
+    got = [k for k, _ in tree.items_with_prefix(prefix)]
+    expected = sorted({k for k in inserted if k.startswith(prefix)})
+    assert got == expected

@@ -1,0 +1,67 @@
+"""Property-based tests for the directed extension's reduction theorem."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.directed import (
+    DirectedLabeledGraph,
+    is_directed_subgraph_isomorphic,
+    subdivide,
+)
+from repro.graphs import is_subgraph_isomorphic
+
+
+@st.composite
+def digraphs(draw, min_vertices=2, max_vertices=6):
+    n = draw(st.integers(min_vertices, max_vertices))
+    labels = [draw(st.sampled_from("abc")) for _ in range(n)]
+    g = DirectedLabeledGraph(labels)
+    for v in range(1, n):
+        parent = draw(st.integers(0, v - 1))
+        if draw(st.booleans()):
+            g.add_edge(parent, v, draw(st.sampled_from([1, 2])))
+        else:
+            g.add_edge(v, parent, draw(st.sampled_from([1, 2])))
+    extra = draw(st.integers(0, 2))
+    for _ in range(extra):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v, draw(st.sampled_from([1, 2])))
+    return g
+
+
+@given(digraphs(max_vertices=5), digraphs(max_vertices=6))
+@settings(max_examples=50, deadline=None)
+def test_reduction_theorem(pattern, target):
+    """Directed containment iff undirected containment of subdivisions."""
+    direct = is_directed_subgraph_isomorphic(pattern, target)
+    reduced = is_subgraph_isomorphic(subdivide(pattern), subdivide(target))
+    assert direct == reduced
+
+
+@given(digraphs(), st.randoms(use_true_random=False))
+@settings(max_examples=40, deadline=None)
+def test_subdivision_commutes_with_relabeling(g, rnd):
+    """Subdividing a relabeled digraph is isomorphic to the subdivision."""
+    from repro.graphs import are_isomorphic
+
+    perm = list(range(g.num_vertices))
+    rnd.shuffle(perm)
+    assert are_isomorphic(subdivide(g), subdivide(g.relabeled(perm)))
+
+
+@given(digraphs())
+@settings(max_examples=40, deadline=None)
+def test_subdivision_shape(g):
+    """Vertex/edge counts and degree structure of the encoding."""
+    skeleton = subdivide(g)
+    assert skeleton.num_vertices == g.num_vertices + g.num_edges
+    assert skeleton.num_edges == 2 * g.num_edges
+    # Every midpoint has degree exactly 2; real vertices keep total degree.
+    for v in range(g.num_vertices, skeleton.num_vertices):
+        assert skeleton.degree(v) == 2
+    for v in range(g.num_vertices):
+        assert skeleton.degree(v) == g.degree(v)

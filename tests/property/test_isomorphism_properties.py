@@ -1,0 +1,79 @@
+"""Property-based tests for the matcher, cross-checked against networkx."""
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from networkx.algorithms import isomorphism as nxiso
+
+from repro.graphs import (
+    are_isomorphic,
+    automorphisms,
+    canonical_label,
+    is_subgraph_isomorphic,
+    subgraph_monomorphisms,
+    to_networkx,
+)
+
+from tests.property.strategies import connected_graphs, labeled_trees
+
+
+def nx_monomorphism_exists(pattern, target):
+    gm = nxiso.GraphMatcher(
+        to_networkx(target),
+        to_networkx(pattern),
+        node_match=lambda a, b: a["label"] == b["label"],
+        edge_match=lambda a, b: a["label"] == b["label"],
+    )
+    return gm.subgraph_is_monomorphic()
+
+
+@given(connected_graphs(max_vertices=6), connected_graphs(max_vertices=7))
+@settings(max_examples=60, deadline=None)
+def test_subgraph_isomorphism_matches_networkx(pattern, target):
+    assert is_subgraph_isomorphic(pattern, target) == nx_monomorphism_exists(
+        pattern, target
+    )
+
+
+@given(connected_graphs(max_vertices=7), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_relabeling_preserves_isomorphism_and_label(graph, rnd):
+    perm = list(range(graph.num_vertices))
+    rnd.shuffle(perm)
+    relabeled = graph.relabeled(perm)
+    assert are_isomorphic(graph, relabeled)
+    assert canonical_label(graph) == canonical_label(relabeled)
+
+
+@given(connected_graphs(max_vertices=6), connected_graphs(max_vertices=6))
+@settings(max_examples=60, deadline=None)
+def test_canonical_label_equality_iff_isomorphic(g1, g2):
+    assert (canonical_label(g1) == canonical_label(g2)) == are_isomorphic(g1, g2)
+
+
+@given(connected_graphs(max_vertices=6), connected_graphs(max_vertices=7))
+@settings(max_examples=40, deadline=None)
+def test_every_monomorphism_is_valid(pattern, target):
+    for mapping in subgraph_monomorphisms(pattern, target, limit=20):
+        assert len(set(mapping.values())) == len(mapping)
+        for pv in pattern.vertices():
+            assert pattern.vertex_label(pv) == target.vertex_label(mapping[pv])
+        for u, v, label in pattern.edges():
+            assert target.has_edge(mapping[u], mapping[v])
+            assert target.edge_label(mapping[u], mapping[v]) == label
+
+
+@given(labeled_trees(min_vertices=2, max_vertices=7))
+@settings(max_examples=40, deadline=None)
+def test_automorphisms_form_a_group(tree):
+    auts = [tuple(a[v] for v in tree.vertices()) for a in automorphisms(tree)]
+    aut_set = set(auts)
+    identity = tuple(tree.vertices())
+    assert identity in aut_set
+    # Closure under composition and inverse.
+    for a in auts:
+        inverse = tuple(sorted(range(len(a)), key=lambda v: a[v]))
+        assert inverse in aut_set
+        for b in auts:
+            composed = tuple(a[b[v]] for v in tree.vertices())
+            assert composed in aut_set

@@ -1,0 +1,75 @@
+"""Property-based tests for pipeline components beyond the index itself."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import run_partitions
+from repro.graphs import (
+    GraphDatabase,
+    dumps_database,
+    edge_key,
+    loads_database,
+)
+from repro.trees import tree_canonical_string
+
+from tests.property.strategies import connected_graphs, labeled_trees
+
+
+@given(connected_graphs(min_vertices=2, max_vertices=8), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_partition_always_covers_query(query, seed):
+    """Any partition covers every edge exactly once with tree pieces."""
+    rng = random.Random(seed)
+    # Randomly decide which canonical strings count as features.
+    feature_coin = random.Random(seed + 1)
+    known = {}
+
+    def is_feature(key):
+        if key not in known:
+            known[key] = feature_coin.random() < 0.5
+        return known[key]
+
+    run = run_partitions(query, is_feature, delta=3, rng=rng)
+    covered = sorted(e for p in run.best.pieces for e in p.edges)
+    assert covered == sorted(edge_key(u, v) for u, v, _ in query.edges())
+    for piece in run.best.pieces:
+        assert piece.tree.is_tree()
+        assert piece.size == 1 or is_feature(piece.key)
+
+
+@given(connected_graphs(min_vertices=2, max_vertices=8), st.integers(0, 1000))
+@settings(max_examples=50, deadline=None)
+def test_partition_pieces_consistent_with_query(query, seed):
+    """Piece-local trees mirror the query's labels through to_query."""
+    rng = random.Random(seed)
+    run = run_partitions(query, lambda key: True, delta=2, rng=rng)
+    for piece in run.best.pieces:
+        assert tree_canonical_string(piece.tree) == piece.key
+        for pv, qv in piece.to_query.items():
+            assert piece.tree.vertex_label(pv) == query.vertex_label(qv)
+        for u, v, label in piece.tree.edges():
+            qu, qv = piece.to_query[u], piece.to_query[v]
+            assert query.has_edge(qu, qv)
+            assert query.edge_label(qu, qv) == label
+
+
+@given(st.lists(connected_graphs(max_vertices=7), min_size=1, max_size=5))
+@settings(max_examples=50, deadline=None)
+def test_serialization_roundtrip(graphs):
+    """gSpan text round-trips any database of labeled graphs."""
+    db = GraphDatabase([g.copy() for g in graphs])
+    restored = loads_database(dumps_database(db))
+    assert len(restored) == len(db)
+    for gid in db.graph_ids():
+        assert restored[gid].structure_equal(db[gid])
+
+
+@given(labeled_trees(min_vertices=2, max_vertices=8))
+@settings(max_examples=50, deadline=None)
+def test_persistence_graph_roundtrip(tree):
+    """The JSON graph encoding round-trips arbitrary labeled trees."""
+    from repro.persistence import graph_from_json, graph_to_json
+
+    assert graph_from_json(graph_to_json(tree)).structure_equal(tree)

@@ -1,0 +1,64 @@
+"""Property-based tests for the tree substrate (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import bfs_distances, eccentricity
+from repro.trees import tree_canonical_string, tree_center
+
+from tests.property.strategies import labeled_trees
+
+
+@given(labeled_trees())
+@settings(max_examples=80, deadline=None)
+def test_center_is_one_vertex_or_an_edge(tree):
+    """Theorem 1: the center is a single vertex or two adjacent vertices."""
+    center = tree_center(tree)
+    assert len(center) in (1, 2)
+    if len(center) == 2:
+        assert tree.has_edge(*center)
+
+
+@given(labeled_trees(min_vertices=2))
+@settings(max_examples=80, deadline=None)
+def test_center_minimizes_eccentricity(tree):
+    """Center vertices achieve the minimum eccentricity (tree radius)."""
+    eccentricities = {v: eccentricity(tree, v) for v in tree.vertices()}
+    radius = min(eccentricities.values())
+    for c in tree_center(tree):
+        assert eccentricities[c] == radius
+    # ... and no non-center vertex beats them.
+    center = set(tree_center(tree))
+    for v, ecc in eccentricities.items():
+        if ecc == radius:
+            assert v in center
+
+
+@given(labeled_trees(), st.randoms(use_true_random=False))
+@settings(max_examples=80, deadline=None)
+def test_canonical_string_invariant_under_relabeling(tree, rnd):
+    perm = list(range(tree.num_vertices))
+    rnd.shuffle(perm)
+    relabeled = tree.relabeled(perm)
+    assert tree_canonical_string(relabeled) == tree_canonical_string(tree)
+
+
+@given(labeled_trees(), st.randoms(use_true_random=False))
+@settings(max_examples=60, deadline=None)
+def test_center_maps_through_relabeling(tree, rnd):
+    perm = list(range(tree.num_vertices))
+    rnd.shuffle(perm)
+    relabeled = tree.relabeled(perm)
+    expected = tuple(sorted(perm[v] for v in tree_center(tree)))
+    assert tree_center(relabeled) == expected
+
+
+@given(labeled_trees(min_vertices=2), labeled_trees(min_vertices=2))
+@settings(max_examples=80, deadline=None)
+def test_canonical_equality_matches_isomorphism(t1, t2):
+    """Canonical strings are a perfect isomorphism invariant for trees."""
+    from repro.graphs import are_isomorphic
+
+    assert (tree_canonical_string(t1) == tree_canonical_string(t2)) == (
+        are_isomorphic(t1, t2)
+    )

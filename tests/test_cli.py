@@ -1,0 +1,109 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import load_database
+from repro.persistence import load_index
+
+
+@pytest.fixture
+def db_file(tmp_path):
+    path = tmp_path / "db.txt"
+    assert main([
+        "generate", "--kind", "chemical", "--count", "12", "--size", "12",
+        "--out", str(path),
+    ]) == 0
+    return path
+
+
+@pytest.fixture
+def index_file(tmp_path, db_file):
+    path = tmp_path / "index.json"
+    assert main([
+        "build", "--database", str(db_file), "--out", str(path), "--eta", "3",
+    ]) == 0
+    return path
+
+
+class TestGenerate:
+    def test_chemical(self, db_file):
+        db = load_database(db_file)
+        assert len(db) == 12
+
+    def test_synthetic(self, tmp_path):
+        path = tmp_path / "synth.txt"
+        assert main([
+            "generate", "--kind", "synthetic", "--count", "8", "--size", "10",
+            "--labels", "4", "--out", str(path),
+        ]) == 0
+        db = load_database(path)
+        assert len(db) == 8
+        assert all(0 <= l < 4 for g in db for l in g.vertex_labels())
+
+    def test_queries(self, tmp_path, db_file):
+        path = tmp_path / "queries.txt"
+        assert main([
+            "generate", "--kind", "queries", "--database", str(db_file),
+            "--edges", "4", "--count", "3", "--out", str(path),
+        ]) == 0
+        queries = load_database(path)
+        assert len(queries) == 3
+        assert all(q.num_edges == 4 for q in queries)
+
+    def test_queries_requires_database(self, tmp_path):
+        assert main([
+            "generate", "--kind", "queries", "--count", "3",
+            "--out", str(tmp_path / "q.txt"),
+        ]) == 2
+
+
+class TestBuildQueryInfo:
+    def test_build_writes_loadable_index(self, index_file):
+        index = load_index(index_file)
+        assert index.feature_count() > 0
+
+    def test_query_output(self, tmp_path, db_file, index_file, capsys):
+        queries = tmp_path / "queries.txt"
+        main([
+            "generate", "--kind", "queries", "--database", str(db_file),
+            "--edges", "3", "--count", "2", "--out", str(queries),
+        ])
+        assert main([
+            "query", "--index", str(index_file), "--queries", str(queries),
+            "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "query 0:" in out
+        assert "total query time" in out
+        assert "P'q=" in out
+
+    def test_query_answers_match_brute_force(self, tmp_path, db_file, index_file):
+        from repro.baselines import SequentialScan
+
+        index = load_index(index_file)
+        db = load_database(db_file)
+        scan = SequentialScan(db)
+        queries = tmp_path / "queries.txt"
+        main([
+            "generate", "--kind", "queries", "--database", str(db_file),
+            "--edges", "4", "--count", "4", "--out", str(queries),
+        ])
+        for query in load_database(queries):
+            assert index.query(query).matches == scan.support_set(query)
+
+    def test_info(self, index_file, capsys):
+        assert main(["info", "--index", str(index_file)]) == 0
+        out = capsys.readouterr().out
+        assert "features:" in out
+        assert "sigma:" in out
+
+
+class TestParser:
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bench", "--figure", "fig99"])

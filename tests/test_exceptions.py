@@ -1,0 +1,39 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro.exceptions import (
+    ConfigError,
+    GraphError,
+    IndexError_,
+    NotATreeError,
+    ReproError,
+    SerializationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [GraphError, NotATreeError, SerializationError, IndexError_, ConfigError],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_not_a_tree_is_graph_error(self):
+        assert issubclass(NotATreeError, GraphError)
+
+    def test_not_a_tree_default_message(self):
+        assert "not a tree" in str(NotATreeError())
+        assert "custom" in str(NotATreeError("custom"))
+
+    def test_single_catch_covers_library_errors(self):
+        # The contract the docstring promises: one except catches all.
+        from repro.graphs import LabeledGraph
+
+        with pytest.raises(ReproError):
+            LabeledGraph(["a"]).add_edge(0, 0, 1)
+
+    def test_index_error_does_not_shadow_builtin(self):
+        assert IndexError_ is not IndexError
+        assert not issubclass(IndexError_, IndexError)

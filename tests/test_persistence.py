@@ -1,0 +1,130 @@
+"""Unit tests for index persistence (save/load without re-mining)."""
+
+import json
+
+import pytest
+
+from repro.core import TreePiConfig, TreePiIndex
+from repro.datasets import extract_query_workload
+from repro.exceptions import SerializationError
+from repro.graphs import LabeledGraph
+from repro.mining import SupportFunction
+from repro.persistence import (
+    decode_label,
+    encode_label,
+    graph_from_json,
+    graph_to_json,
+    index_from_json,
+    index_to_json,
+    load_index,
+    save_index,
+)
+
+
+class TestLabels:
+    @pytest.mark.parametrize(
+        "label", [0, -7, 3.5, "C", "", ("x", "src"), (1, ("a", 2)), None]
+    )
+    def test_roundtrip(self, label):
+        assert decode_label(encode_label(label)) == label
+
+    def test_list_becomes_tuple(self):
+        assert decode_label(encode_label(["a", 1])) == ("a", 1)
+
+    def test_bool_rejected(self):
+        with pytest.raises(SerializationError):
+            encode_label(True)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_label({"z": 1})
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            decode_label("not-a-dict")
+
+
+class TestGraphJson:
+    def test_roundtrip(self, small_tree):
+        restored = graph_from_json(graph_to_json(small_tree))
+        assert restored.structure_equal(small_tree)
+
+    def test_tuple_edge_labels(self):
+        g = LabeledGraph(["a", "b"], [(0, 1, ("bond", 2))])
+        restored = graph_from_json(graph_to_json(g))
+        assert restored.edge_label(0, 1) == ("bond", 2)
+
+    def test_graph_id_assignment(self, triangle):
+        restored = graph_from_json(graph_to_json(triangle), graph_id=4)
+        assert restored.graph_id == 4
+
+    def test_malformed_graph(self):
+        with pytest.raises(SerializationError):
+            graph_from_json({"vertices": [{"s": "a"}]})  # missing edges
+
+
+class TestIndexRoundtrip:
+    @pytest.fixture(scope="class")
+    def index(self):
+        from repro.datasets import generate_aids_like
+
+        db = generate_aids_like(12, avg_atoms=12, seed=61)
+        return TreePiIndex.build(
+            db, TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=3)
+        )
+
+    def test_json_roundtrip_preserves_features(self, index):
+        restored = index_from_json(index_to_json(index))
+        assert restored.feature_count() == index.feature_count()
+        for original in index.features:
+            twin = restored.feature_by_key(original.key)
+            assert twin is not None
+            assert twin.center == original.center
+            assert twin.locations == original.locations
+
+    def test_restored_index_answers_identically(self, index):
+        restored = index_from_json(index_to_json(index))
+        for query in extract_query_workload(index.database, 4, 8, seed=2):
+            assert restored.query(query).matches == index.query(query).matches
+
+    def test_restored_index_supports_maintenance(self, index):
+        restored = index_from_json(index_to_json(index))
+        donor = index.database[index.database.graph_ids()[0]].copy()
+        gid = restored.insert(donor)
+        assert gid in restored.database
+        restored.delete(gid)
+
+    def test_file_roundtrip(self, index, tmp_path):
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.feature_count() == index.feature_count()
+        assert restored.stats.num_features == index.stats.num_features
+
+    def test_stats_roundtrip(self, index):
+        restored = index_from_json(index_to_json(index))
+        assert restored.stats.features_by_size == index.stats.features_by_size
+        assert (
+            restored.stats.mining.patterns_per_level
+            == index.stats.mining.patterns_per_level
+        )
+
+    def test_config_roundtrip(self, index):
+        restored = index_from_json(index_to_json(index))
+        assert restored.config == index.config
+
+
+class TestFormatGuards:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            index_from_json({"format": "other", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        with pytest.raises(SerializationError):
+            index_from_json({"format": "treepi-index", "version": 99})
+
+    def test_invalid_json_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SerializationError):
+            load_index(path)

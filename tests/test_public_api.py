@@ -1,0 +1,58 @@
+"""API surface checks: __all__ integrity and documentation coverage."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.graphs",
+    "repro.trees",
+    "repro.mining",
+    "repro.core",
+    "repro.baselines",
+    "repro.datasets",
+    "repro.directed",
+    "repro.bench",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    module = importlib.import_module(package)
+    assert hasattr(module, "__all__"), f"{package} lacks __all__"
+    for name in module.__all__:
+        assert hasattr(module, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_public_callables_documented(package):
+    module = importlib.import_module(package)
+    undocumented = []
+    for name in module.__all__:
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            if not (obj.__doc__ or "").strip():
+                undocumented.append(f"{package}.{name}")
+    assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_modules_have_docstrings():
+    import pathlib
+
+    root = pathlib.Path(importlib.import_module("repro").__file__).parent
+    missing = []
+    for path in root.rglob("*.py"):
+        text = path.read_text().lstrip()
+        if not (text.startswith('"""') or text.startswith("'''") or not text):
+            missing.append(str(path))
+    assert not missing, f"modules without docstrings: {missing}"

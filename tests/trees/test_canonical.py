@@ -1,0 +1,104 @@
+"""Unit tests for the tree canonical form (Section 4.2.2)."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.exceptions import NotATreeError
+from repro.graphs import LabeledGraph, cycle_graph, path_graph, star_graph
+from repro.trees import (
+    rooted_canonical_string,
+    tree_canonical_form,
+    tree_canonical_string,
+)
+
+
+def random_labeled_tree(rng, n, labels="abc", edge_labels=(1, 2)):
+    t = LabeledGraph([rng.choice(labels) for _ in range(n)])
+    for v in range(1, n):
+        t.add_edge(v, rng.randrange(v), rng.choice(edge_labels))
+    return t
+
+
+class TestRootedCanonicalString:
+    def test_single_vertex(self):
+        s = rooted_canonical_string(LabeledGraph(["x"]), 0)
+        assert "'x'" in s
+
+    def test_sibling_order_is_canonical(self):
+        # hub with children b, a in either insertion order
+        t1 = LabeledGraph(["h", "b", "a"], [(0, 1, 1), (0, 2, 1)])
+        t2 = LabeledGraph(["h", "a", "b"], [(0, 1, 1), (0, 2, 1)])
+        assert rooted_canonical_string(t1, 0) == rooted_canonical_string(t2, 0)
+
+    def test_root_choice_matters(self):
+        p = path_graph(["a", "b", "c"])
+        assert rooted_canonical_string(p, 0) != rooted_canonical_string(p, 2)
+
+    def test_rejects_non_tree(self):
+        with pytest.raises(NotATreeError):
+            rooted_canonical_string(cycle_graph(["a"] * 3), 0)
+
+
+class TestTreeCanonicalString:
+    def test_vertex_centered_prefix(self):
+        assert tree_canonical_string(path_graph(["a"] * 3)).startswith("V:")
+
+    def test_edge_centered_prefix(self):
+        assert tree_canonical_string(path_graph(["a"] * 4)).startswith("E[")
+
+    def test_invariant_under_all_permutations(self):
+        t = LabeledGraph(
+            ["a", "b", "b", "c"], [(0, 1, 1), (0, 2, 1), (2, 3, 2)]
+        )
+        baseline = tree_canonical_string(t)
+        for perm in itertools.permutations(range(4)):
+            assert tree_canonical_string(t.relabeled(list(perm))) == baseline
+
+    def test_distinguishes_vertex_labels(self):
+        t1 = path_graph(["a", "b", "a"])
+        t2 = path_graph(["a", "a", "a"])
+        assert tree_canonical_string(t1) != tree_canonical_string(t2)
+
+    def test_distinguishes_edge_labels(self):
+        t1 = LabeledGraph(["a", "a", "a"], [(0, 1, 1), (1, 2, 2)])
+        t2 = LabeledGraph(["a", "a", "a"], [(0, 1, 1), (1, 2, 1)])
+        assert tree_canonical_string(t1) != tree_canonical_string(t2)
+
+    def test_distinguishes_topology(self):
+        star = star_graph("a", ["a", "a", "a"])
+        path = path_graph(["a"] * 4)
+        assert tree_canonical_string(star) != tree_canonical_string(path)
+
+    def test_edge_center_halves_sorted(self):
+        # The same tree built in mirrored vertex orders.
+        t1 = LabeledGraph(["x", "a", "b"], [(0, 1, 1), (1, 2, 1)])
+        t2 = LabeledGraph(["b", "a", "x"], [(0, 1, 1), (1, 2, 1)])
+        assert tree_canonical_string(t1) == tree_canonical_string(t2)
+
+    def test_exhaustive_random_trees(self):
+        rng = random.Random(11)
+        for _ in range(60):
+            t = random_labeled_tree(rng, rng.randint(2, 9))
+            perm = list(range(t.num_vertices))
+            rng.shuffle(perm)
+            assert tree_canonical_string(t.relabeled(perm)) == tree_canonical_string(t)
+
+    def test_different_random_trees_rarely_collide(self):
+        # Canonical strings of structurally different trees must differ;
+        # verify against the generic isomorphism oracle.
+        from repro.graphs import are_isomorphic
+
+        rng = random.Random(13)
+        trees = [random_labeled_tree(rng, rng.randint(2, 6)) for _ in range(20)]
+        for t1, t2 in itertools.combinations(trees, 2):
+            same = tree_canonical_string(t1) == tree_canonical_string(t2)
+            assert same == are_isomorphic(t1, t2)
+
+
+class TestTreeCanonicalForm:
+    def test_returns_string_and_center(self):
+        key, center = tree_canonical_form(path_graph(["a"] * 5))
+        assert key.startswith("V:")
+        assert center == (2,)

@@ -1,0 +1,72 @@
+"""Unit tests for tree centers (Theorem 1)."""
+
+import pytest
+
+from repro.exceptions import NotATreeError
+from repro.graphs import LabeledGraph, cycle_graph, path_graph, star_graph
+from repro.trees import center_of_embedding, is_edge_centered, tree_center
+
+
+class TestTreeCenter:
+    def test_single_vertex(self):
+        assert tree_center(LabeledGraph(["a"])) == (0,)
+
+    def test_single_edge(self):
+        assert tree_center(path_graph(["a", "b"])) == (0, 1)
+
+    def test_odd_path_has_vertex_center(self):
+        assert tree_center(path_graph(["a"] * 7)) == (3,)
+
+    def test_even_path_has_edge_center(self):
+        assert tree_center(path_graph(["a"] * 6)) == (2, 3)
+
+    def test_star_center_is_hub(self):
+        assert tree_center(star_graph("h", ["x"] * 5)) == (0,)
+
+    def test_caterpillar(self):
+        # Path 0-1-2-3-4 with extra leaves on 1: center stays at 2.
+        t = path_graph(["a"] * 5)
+        leaf = t.add_vertex("a")
+        t.add_edge(1, leaf, 1)
+        assert tree_center(t) == (2,)
+
+    def test_center_vertices_adjacent_when_edge(self):
+        t = path_graph(["a"] * 4)
+        c = tree_center(t)
+        assert len(c) == 2
+        assert t.has_edge(*c)
+
+    def test_rejects_cycle(self):
+        with pytest.raises(NotATreeError):
+            tree_center(cycle_graph(["a"] * 4))
+
+    def test_rejects_disconnected(self):
+        g = LabeledGraph(["a", "b"], [])
+        with pytest.raises(NotATreeError):
+            tree_center(g)
+
+    def test_center_invariant_under_relabeling(self):
+        t = star_graph("h", ["a", "b", "c"])
+        perm = [3, 0, 1, 2]
+        relabeled = t.relabeled(perm)
+        assert tree_center(relabeled) == (perm[0],)
+
+
+class TestIsEdgeCentered:
+    def test_even_path(self):
+        assert is_edge_centered(path_graph(["a"] * 4))
+
+    def test_odd_path(self):
+        assert not is_edge_centered(path_graph(["a"] * 5))
+
+
+class TestCenterOfEmbedding:
+    def test_vertex_center_maps_through(self):
+        t = path_graph(["a", "b", "a"])  # center vertex 1
+        mapping = {0: 10, 1: 20, 2: 30}
+        assert center_of_embedding(t, mapping) == (20,)
+
+    def test_edge_center_sorted(self):
+        t = path_graph(["a", "b"])  # center edge (0, 1)
+        mapping = {0: 9, 1: 2}
+        assert center_of_embedding(t, mapping) == (2, 9)

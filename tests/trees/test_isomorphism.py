@@ -1,0 +1,45 @@
+"""Unit tests for tree isomorphism / subtree containment."""
+
+from repro.graphs import LabeledGraph, path_graph, star_graph
+from repro.trees import is_subtree_of, trees_isomorphic
+
+
+class TestTreesIsomorphic:
+    def test_relabeled_tree(self, small_tree):
+        assert trees_isomorphic(small_tree, small_tree.relabeled([4, 3, 2, 1, 0]))
+
+    def test_size_mismatch_fast_path(self):
+        assert not trees_isomorphic(path_graph(["a"] * 3), path_graph(["a"] * 4))
+
+    def test_label_mismatch(self):
+        assert not trees_isomorphic(path_graph(["a", "b"]), path_graph(["a", "c"]))
+
+    def test_mirrored_paths(self):
+        t1 = path_graph(["a", "b", "c"])
+        t2 = path_graph(["c", "b", "a"])
+        assert trees_isomorphic(t1, t2)
+
+
+class TestIsSubtreeOf:
+    def test_path_in_star(self):
+        assert is_subtree_of(path_graph(["x", "h"]), star_graph("h", ["x", "y"]))
+
+    def test_path3_in_star(self):
+        # A 2-edge path through the hub exists in any 2-leaf star.
+        p = path_graph(["x", "h", "y"])
+        assert is_subtree_of(p, star_graph("h", ["x", "y"]))
+
+    def test_star_not_in_path(self):
+        star = star_graph("a", ["a", "a", "a"])
+        assert not is_subtree_of(star, path_graph(["a"] * 6))
+
+    def test_too_large(self):
+        assert not is_subtree_of(path_graph(["a"] * 5), path_graph(["a"] * 4))
+
+    def test_edge_labels_respected(self):
+        small = LabeledGraph(["a", "a"], [(0, 1, 2)])
+        big = LabeledGraph(["a", "a", "a"], [(0, 1, 1), (1, 2, 1)])
+        assert not is_subtree_of(small, big)
+
+    def test_itself(self, small_tree):
+        assert is_subtree_of(small_tree, small_tree)
