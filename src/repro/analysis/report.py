@@ -1,0 +1,37 @@
+"""Rendering of lint reports for the CLI and CI logs."""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.analysis.engine import LintReport
+
+
+def render_text(report: LintReport, statistics: bool = False) -> str:
+    """flake8-style listing plus an optional per-rule summary."""
+    lines: List[str] = [v.format() for v in report.violations]
+    if statistics:
+        for rule_id, count in report.counts_by_rule().items():
+            lines.append(f"{count:5d}  {rule_id}")
+    if report.ok:
+        lines.append(
+            f"OK: {report.files_checked} file(s) checked, 0 violations"
+        )
+    else:
+        lines.append(
+            f"FAIL: {report.files_checked} file(s) checked, "
+            f"{len(report.violations)} violation(s)"
+        )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report for tooling."""
+    payload = {
+        "files_checked": report.files_checked,
+        "violations": [v.to_dict() for v in report.violations],
+        "counts_by_rule": report.counts_by_rule(),
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,34 @@
+"""The violation record shared by every lint rule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule hit at one source location.
+
+    Ordering is (path, line, col, rule_id) so reports are stable
+    regardless of the order rules ran in.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def format(self) -> str:
+        """``flake8``-style one-liner: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

@@ -82,7 +82,7 @@ class GIndexBaseline:
         frequent: Dict[str, FrozenSet[int]],
         selected: Dict[str, FrozenSet[int]],
         stats: GIndexStats,
-    ):
+    ) -> None:
         self._db = database
         self._config = config
         self._frequent = frequent    # canonical label -> support set (all ψ-frequent)

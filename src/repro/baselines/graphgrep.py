@@ -73,7 +73,7 @@ def path_fingerprint(graph: LabeledGraph, max_length: int) -> Dict[PathKey, int]
 class GraphGrepBaseline:
     """A built GraphGrep index over one graph database."""
 
-    def __init__(self, database: GraphDatabase, config: GraphGrepConfig):
+    def __init__(self, database: GraphDatabase, config: GraphGrepConfig) -> None:
         if len(database) == 0:
             raise IndexError_("cannot build an index over an empty database")
         self._db = database

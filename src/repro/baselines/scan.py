@@ -18,7 +18,7 @@ from repro.graphs.isomorphism import is_subgraph_isomorphic
 class SequentialScan:
     """A trivially correct query processor with no preprocessing at all."""
 
-    def __init__(self, database: GraphDatabase):
+    def __init__(self, database: GraphDatabase) -> None:
         self._db = database
 
     @property

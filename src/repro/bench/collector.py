@@ -28,7 +28,7 @@ def percentile(values: List[float], fraction: float) -> float:
 class QueryStatsCollector:
     """Accumulates per-query metrics for one workload."""
 
-    def __init__(self, name: str = "workload"):
+    def __init__(self, name: str = "workload") -> None:
         self.name = name
         self._results: List[QueryResult] = []
         self._latencies: List[float] = []

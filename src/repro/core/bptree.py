@@ -24,7 +24,7 @@ from typing import Iterator, List, Optional, Tuple
 class _Node:
     __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
 
-    def __init__(self, is_leaf: bool):
+    def __init__(self, is_leaf: bool) -> None:
         self.is_leaf = is_leaf
         self.keys: List[str] = []
         self.children: List["_Node"] = []   # internal nodes only
@@ -41,7 +41,7 @@ class BPlusTree:
     entries after a deletion.
     """
 
-    def __init__(self, order: int = 32):
+    def __init__(self, order: int = 32) -> None:
         if order < 3:
             raise ValueError("B+-tree order must be >= 3")
         self._order = order
@@ -223,7 +223,8 @@ class BPlusTree:
             node = node.next_leaf
 
     def keys(self) -> Iterator[str]:
-        for key, _ in self.items():
+        # Not a dict view: BPlusTree.items() is a sorted leaf-chain scan.
+        for key, _ in self.items():  # noqa: REPRO101
             yield key
 
     def range(self, low: str, high: str) -> Iterator[Tuple[str, int]]:

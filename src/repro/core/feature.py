@@ -68,7 +68,7 @@ class FeatureTree:
         """
         center = tree_center(pattern.graph)
         locations: Dict[int, CenterSet] = {}
-        for gid, embeddings in pattern.embeddings.items():
+        for gid, embeddings in sorted(pattern.embeddings.items()):
             locations[gid] = frozenset(
                 tuple(sorted(emb[v] for v in center)) for emb in embeddings
             )

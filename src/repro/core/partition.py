@@ -92,7 +92,9 @@ def _edge_components(edges: Sequence[Edge]) -> List[List[Edge]]:
     buckets: Dict[int, List[Edge]] = {}
     for u, v in edges:
         buckets.setdefault(find(u), []).append(edge_key(u, v))
-    return [sorted(b) for b in buckets.values()]
+    # Sort components by their edge lists so piece order is canonical, not
+    # tied to union-find root discovery order.
+    return sorted(sorted(b) for b in buckets.values())
 
 
 # Cache entry for one edge subset: either a finished piece, or the built

@@ -137,7 +137,7 @@ class TreePiIndex:
         config: TreePiConfig,
         features: List[FeatureTree],
         stats: IndexStats,
-    ):
+    ) -> None:
         self._db = database
         self._config = config
         self._features = features
@@ -281,9 +281,12 @@ class TreePiIndex:
         # only a few restarts.
         if self._config.augment_small_subtrees:
             stage1 = set(self._db.graph_ids())
+            # dict.fromkeys dedups while keeping list order, and the key
+            # ties on the canonical string: the intersection sequence (and
+            # the early-exit point) is identical on every run.
             for feature in sorted(
-                (self._lookup[k] for k in set(extra_keys) if k in self._lookup),
-                key=lambda f: f.support,
+                (self._lookup[k] for k in dict.fromkeys(extra_keys) if k in self._lookup),
+                key=lambda f: (f.support, f.key),
             ):
                 stage1 &= feature.support_set()
                 if not stage1:

@@ -14,7 +14,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 class _Node:
     __slots__ = ("children", "value")
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.children: Dict[str, "_Node"] = {}
         self.value: Optional[int] = None
 
@@ -22,7 +22,7 @@ class _Node:
 class StringTrie:
     """A character trie storing ``string -> int`` (feature id) entries."""
 
-    def __init__(self):
+    def __init__(self) -> None:
         self._root = _Node()
         self._size = 0
 

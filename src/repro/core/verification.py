@@ -186,7 +186,8 @@ def verify_candidate(
             for anchor in _anchor_seeds(piece.center, center):
                 seed = dict(overlap_seed)
                 conflict = False
-                for pv, gv in anchor.items():
+                # Conflict scan over every entry — order-insensitive.
+                for pv, gv in anchor.items():  # noqa: REPRO101
                     if seed.get(pv, gv) != gv:
                         conflict = True
                         break
@@ -198,7 +199,8 @@ def verify_candidate(
                     extended = dict(qmap)
                     new_used = set(used)
                     good = True
-                    for pv, gv in emb.items():
+                    # Consistency scan over every entry — order-insensitive.
+                    for pv, gv in emb.items():  # noqa: REPRO101
                         qv = to_query[pv]
                         known = extended.get(qv)
                         if known is None:

@@ -75,7 +75,7 @@ def _pick_atom(rng: random.Random) -> Tuple[str, int]:
 class _MoleculeBuilder:
     """Grows one molecule while tracking remaining valence per atom."""
 
-    def __init__(self, rng: random.Random):
+    def __init__(self, rng: random.Random) -> None:
         self.rng = rng
         self.graph = LabeledGraph()
         self.free: List[int] = []  # remaining valence per vertex

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List, Optional
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import GraphDatabase, LabeledGraph
@@ -29,7 +29,7 @@ class QueryWorkload:
     def __len__(self) -> int:
         return len(self.queries)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[LabeledGraph]:
         return iter(self.queries)
 
 

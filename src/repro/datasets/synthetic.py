@@ -51,7 +51,7 @@ class SyntheticConfig:
     num_edge_labels: int = 2
     seed: int = 7
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if min(
             self.num_graphs,
             self.avg_seed_edges,

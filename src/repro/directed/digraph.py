@@ -30,7 +30,7 @@ class DirectedLabeledGraph:
         vertex_labels: Sequence[VertexLabel] = (),
         edges: Iterable[Tuple[int, int, EdgeLabel]] = (),
         graph_id: Optional[int] = None,
-    ):
+    ) -> None:
         self._vlabels: List[VertexLabel] = list(vertex_labels)
         self._out: List[Dict[int, EdgeLabel]] = [{} for _ in self._vlabels]
         self._in: List[Dict[int, EdgeLabel]] = [{} for _ in self._vlabels]

@@ -10,7 +10,7 @@ the reduction theorem (see :mod:`repro.directed.reduction`).
 from __future__ import annotations
 
 import time
-from typing import FrozenSet, Iterable, List
+from typing import FrozenSet, Iterable, Iterator, List
 
 from repro.core.statistics import IndexStats, QueryResult
 from repro.core.treepi import TreePiConfig, TreePiIndex
@@ -23,7 +23,7 @@ from repro.graphs.graph import GraphDatabase
 class DirectedGraphDatabase:
     """An ordered collection of directed graphs with stable integer ids."""
 
-    def __init__(self, graphs: Iterable[DirectedLabeledGraph] = ()):
+    def __init__(self, graphs: Iterable[DirectedLabeledGraph] = ()) -> None:
         self._graphs = {}
         self._next_id = 0
         for g in graphs:
@@ -45,7 +45,7 @@ class DirectedGraphDatabase:
     def __len__(self) -> int:
         return len(self._graphs)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[DirectedLabeledGraph]:
         return iter(self._graphs.values())
 
     def __contains__(self, graph_id: int) -> bool:
@@ -65,7 +65,7 @@ class DirectedTreePiIndex:
     """A TreePi index answering directed containment queries exactly."""
 
     def __init__(self, database: DirectedGraphDatabase, config: TreePiConfig,
-                 inner: TreePiIndex):
+                 inner: TreePiIndex) -> None:
         self._db = database
         self._config = config
         self._inner = inner

@@ -16,7 +16,7 @@ class GraphError(ReproError):
 class NotATreeError(GraphError):
     """An operation that requires a tree was given a non-tree graph."""
 
-    def __init__(self, reason: str = "graph is not a tree"):
+    def __init__(self, reason: str = "graph is not a tree") -> None:
         super().__init__(reason)
 
 

@@ -7,7 +7,7 @@ so test suites can cross-check our matcher against
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Any, Iterable, Optional, Sequence, Tuple
 
 from repro.exceptions import GraphError
 from repro.graphs.graph import EdgeLabel, LabeledGraph, VertexLabel
@@ -16,7 +16,7 @@ from repro.graphs.graph import EdgeLabel, LabeledGraph, VertexLabel
 def graph_from_edgelist(
     vertex_labels: Sequence[VertexLabel],
     edges: Iterable[Tuple[int, int, EdgeLabel]],
-    graph_id: int = None,
+    graph_id: Optional[int] = None,
 ) -> LabeledGraph:
     """Build a graph from labels and ``(u, v, label)`` triples."""
     return LabeledGraph(vertex_labels, edges, graph_id=graph_id)
@@ -52,7 +52,7 @@ def cycle_graph(vertex_labels: Sequence[VertexLabel], edge_label: EdgeLabel = 1)
     return g
 
 
-def to_networkx(graph: LabeledGraph):
+def to_networkx(graph: LabeledGraph) -> Any:
     """Convert to an ``networkx.Graph`` with ``label`` node/edge attributes."""
     import networkx as nx
 
@@ -64,7 +64,7 @@ def to_networkx(graph: LabeledGraph):
     return nxg
 
 
-def from_networkx(nxg, graph_id: int = None) -> LabeledGraph:
+def from_networkx(nxg: Any, graph_id: Optional[int] = None) -> LabeledGraph:
     """Convert from an ``networkx.Graph`` carrying ``label`` attributes.
 
     Nodes are renumbered ``0..n-1`` in sorted node order; missing labels

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import contracts as _contracts
 from repro.graphs.graph import LabeledGraph
 
 # One DFS-code entry: (i, j, vertex_label_i, edge_label, vertex_label_j)
@@ -44,7 +45,7 @@ class _State:
         index_of: Dict[int, int],
         rightmost_path: List[int],
         used_edges: frozenset,
-    ):
+    ) -> None:
         self.vertex_at = vertex_at          # dfs index -> graph vertex
         self.index_of = index_of            # graph vertex -> dfs index
         self.rightmost_path = rightmost_path  # dfs indices, root..rightmost
@@ -179,6 +180,9 @@ def minimum_dfs_code(graph: LabeledGraph) -> Tuple[Entry, ...]:
 
 def canonical_label(graph: LabeledGraph) -> str:
     """A string canonical label: equal iff the graphs are isomorphic."""
-    return "|".join(
+    label = "|".join(
         f"{i},{j},{li},{le},{lj}" for (i, j, li, le, lj) in minimum_dfs_code(graph)
     )
+    if _contracts.contracts_enabled():
+        _contracts.check_graph_canonical_invariance(graph, label)
+    return label

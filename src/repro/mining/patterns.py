@@ -21,7 +21,7 @@ class MinedPattern:
 
     __slots__ = ("graph", "key", "embeddings")
 
-    def __init__(self, graph: LabeledGraph, key: str):
+    def __init__(self, graph: LabeledGraph, key: str) -> None:
         self.graph = graph
         #: canonical string identifying the isomorphism class
         self.key = key
@@ -73,6 +73,7 @@ def translate_embedding(
     ``translated[iso[v]] == embedding[v]``.
     """
     out: List[int] = [0] * len(embedding)
-    for dup_vertex, rep_vertex in iso_to_representative.items():
+    # Writes land at fixed indices, so iteration order cannot matter.
+    for dup_vertex, rep_vertex in iso_to_representative.items():  # noqa: REPRO101
         out[rep_vertex] = embedding[dup_vertex]
     return tuple(out)

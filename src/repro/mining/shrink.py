@@ -66,7 +66,9 @@ def shrink_feature_set(
     """
     kept: Dict[str, MinedPattern] = {}
     removed: Dict[str, float] = {}
-    for key, pattern in frequent.items():
+    # Canonical-key order: feature ids are assigned by enumerating `kept`,
+    # so its insertion order must not depend on mining discovery order.
+    for key, pattern in sorted(frequent.items()):
         if pattern.size < 2 or pattern.support == 0:
             kept[key] = pattern
             continue

@@ -43,7 +43,7 @@ class FrequentSubgraphMiner:
         support: Callable[[int], float],
         max_size: int,
         max_embeddings_per_graph: Optional[int] = None,
-    ):
+    ) -> None:
         self._db = database
         self._support = support
         self._max_size = max_size
@@ -55,7 +55,7 @@ class FrequentSubgraphMiner:
 
         current = self._mine_single_edges()
         threshold = self._support(1)
-        current = {k: p for k, p in current.items() if p.support >= threshold}
+        current = {k: p for k, p in sorted(current.items()) if p.support >= threshold}
         all_frequent: Dict[str, MinedPattern] = dict(current)
         stats.patterns_per_level[1] = len(current)
 
@@ -66,7 +66,9 @@ class FrequentSubgraphMiner:
             candidates = self._extend_level(current)
             stats.candidates_per_level[size] = len(candidates)
             current = {
-                key: pat for key, pat in candidates.items() if pat.support >= threshold
+                key: pat
+                for key, pat in sorted(candidates.items())
+                if pat.support >= threshold
             }
             stats.patterns_per_level[size] = len(current)
             all_frequent.update(current)
@@ -109,12 +111,12 @@ class FrequentSubgraphMiner:
         self, current: Dict[str, MinedPattern]
     ) -> Dict[str, MinedPattern]:
         candidates: Dict[str, MinedPattern] = {}
-        for pattern in current.values():
+        for _, pattern in sorted(current.items()):
             ext_cache: Dict[Descriptor, Tuple[str, Optional[Dict[int, int]]]] = {}
             pat_graph = pattern.graph
-            for gid, embeddings in pattern.embeddings.items():
+            for gid, embeddings in sorted(pattern.embeddings.items()):
                 graph = self._db[gid]
-                for emb in embeddings:
+                for emb in sorted(embeddings):
                     image_index = {gv: pv for pv, gv in enumerate(emb)}
                     for pv, gv in enumerate(emb):
                         for w, elabel in graph.neighbor_items(gv):

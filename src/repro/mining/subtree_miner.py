@@ -57,7 +57,8 @@ class MiningResult:
     stats: MiningStats
 
     def by_size(self, size: int) -> List[MinedPattern]:
-        return [p for p in self.patterns.values() if p.size == size]
+        """Patterns of one edge size, in canonical-key order."""
+        return [p for _, p in sorted(self.patterns.items()) if p.size == size]
 
     def max_size(self) -> int:
         return max((p.size for p in self.patterns.values()), default=0)
@@ -73,10 +74,10 @@ class MiningResult:
         from repro.graphs.isomorphism import is_subgraph_isomorphic
 
         by_size: Dict[int, List[MinedPattern]] = {}
-        for pattern in self.patterns.values():
+        for _, pattern in sorted(self.patterns.items()):
             by_size.setdefault(pattern.size, []).append(pattern)
         maximal: List[MinedPattern] = []
-        for size, group in by_size.items():
+        for size, group in sorted(by_size.items()):
             parents = by_size.get(size + 1, [])
             for pattern in group:
                 if not any(
@@ -106,7 +107,7 @@ class FrequentSubtreeMiner:
         database: GraphDatabase,
         support: SupportFunction,
         max_embeddings_per_graph: Optional[int] = None,
-    ):
+    ) -> None:
         self._db = database
         self._support = support
         self._cap = max_embeddings_per_graph
@@ -119,7 +120,9 @@ class FrequentSubtreeMiner:
 
         current = self._mine_single_edges()
         threshold = self._support(1)
-        current = {k: p for k, p in current.items() if p.support >= threshold}
+        # Canonical-key order throughout: every level's pattern dict is
+        # sorted, so feature ids and reports never depend on discovery order.
+        current = {k: p for k, p in sorted(current.items()) if p.support >= threshold}
         all_frequent: Dict[str, MinedPattern] = dict(current)
         stats.patterns_per_level[1] = len(current)
 
@@ -130,7 +133,9 @@ class FrequentSubtreeMiner:
             candidates = self._extend_level(current)
             stats.candidates_per_level[size] = len(candidates)
             current = {
-                key: pat for key, pat in candidates.items() if pat.support >= threshold
+                key: pat
+                for key, pat in sorted(candidates.items())
+                if pat.support >= threshold
             }
             stats.patterns_per_level[size] = len(current)
             all_frequent.update(current)
@@ -176,12 +181,12 @@ class FrequentSubtreeMiner:
     ) -> Dict[str, MinedPattern]:
         """Grow every pattern of the current level by one edge."""
         candidates: Dict[str, MinedPattern] = {}
-        for pattern in current.values():
+        for _, pattern in sorted(current.items()):
             # (descriptor) -> (candidate key, translation to representative)
             ext_cache: Dict[Descriptor, Tuple[str, Optional[Dict[int, int]]]] = {}
-            for gid, embeddings in pattern.embeddings.items():
+            for gid, embeddings in sorted(pattern.embeddings.items()):
                 graph = self._db[gid]
-                for emb in embeddings:
+                for emb in sorted(embeddings):
                     image = set(emb)
                     for pv, gv in enumerate(emb):
                         for w, elabel in graph.neighbor_items(gv):

@@ -19,6 +19,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+from repro.analysis import contracts as _contracts
 from repro.exceptions import ConfigError
 
 
@@ -37,7 +38,7 @@ class SupportFunction:
     beta: float
     eta: int
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.alpha < 1 or self.beta <= 0 or self.eta < 1:
             raise ConfigError(
                 f"alpha, beta, eta must be positive (got {self.alpha}, "
@@ -45,6 +46,8 @@ class SupportFunction:
             )
         if self.eta < self.alpha:
             raise ConfigError(f"eta ({self.eta}) must be >= alpha ({self.alpha})")
+        if _contracts.contracts_enabled():
+            _contracts.check_support_monotone(self, self.eta)
 
     def __call__(self, size: int) -> float:
         """Minimum support for a tree with ``size`` edges."""

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.feature import FeatureTree
 from repro.core.statistics import IndexStats
@@ -78,7 +78,7 @@ def graph_to_json(graph: LabeledGraph) -> Dict[str, Any]:
     }
 
 
-def graph_from_json(data: Dict[str, Any], graph_id: int = None) -> LabeledGraph:
+def graph_from_json(data: Dict[str, Any], graph_id: Optional[int] = None) -> LabeledGraph:
     try:
         graph = LabeledGraph(
             [decode_label(l) for l in data["vertices"]], graph_id=graph_id

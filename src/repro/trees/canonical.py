@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.analysis import contracts as _contracts
 from repro.exceptions import NotATreeError
 from repro.graphs.graph import LabeledGraph
 from repro.trees.center import Center, tree_center
@@ -69,13 +70,17 @@ def tree_canonical_string(tree: LabeledGraph) -> str:
     """The center-rooted canonical string — equal iff trees are isomorphic."""
     center = tree_center(tree)
     if len(center) == 1:
-        return "V:" + _encode_rooted(tree, center[0], None, "#")
-    a, b = center
-    elabel = tree.edge_label(a, b)
-    half_a = _encode_rooted(tree, a, b, "#")
-    half_b = _encode_rooted(tree, b, a, "#")
-    first, second = sorted((half_a, half_b))
-    return f"E[{elabel!r}]:{first}|{second}"
+        encoded = "V:" + _encode_rooted(tree, center[0], None, "#")
+    else:
+        a, b = center
+        elabel = tree.edge_label(a, b)
+        half_a = _encode_rooted(tree, a, b, "#")
+        half_b = _encode_rooted(tree, b, a, "#")
+        first, second = sorted((half_a, half_b))
+        encoded = f"E[{elabel!r}]:{first}|{second}"
+    if _contracts.contracts_enabled():
+        _contracts.check_canonical_invariance(tree, encoded)
+    return encoded
 
 
 def tree_canonical_form(tree: LabeledGraph) -> Tuple[str, Center]:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Tuple
 
+from repro.analysis import contracts as _contracts
 from repro.exceptions import NotATreeError
 from repro.graphs.graph import LabeledGraph
 
@@ -47,9 +48,9 @@ def tree_center(tree: LabeledGraph) -> Center:
                         next_layer.append(v)
         layer = next_layer
     core = tuple(sorted(u for u in tree.vertices() if not removed[u]))
-    if len(core) == 1:
-        return core
-    if len(core) == 2 and tree.has_edge(core[0], core[1]):
+    if len(core) == 1 or (len(core) == 2 and tree.has_edge(core[0], core[1])):
+        if _contracts.contracts_enabled():
+            _contracts.check_center(tree, core)
         return core
     raise NotATreeError(f"leaf stripping left an invalid core {core}")
 

@@ -1,0 +1,167 @@
+"""Runtime contracts: correct implementations pass, broken ones are caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    ContractViolation,
+    contract_scope,
+    contracts_enabled,
+    disable_contracts,
+    enable_contracts,
+)
+from repro.analysis.contracts import (
+    check_center,
+    check_support_monotone,
+    self_test,
+    verify_canonical_function,
+    verify_center_function,
+)
+from repro.graphs.builders import path_graph, star_graph
+from repro.graphs.graph import LabeledGraph
+from repro.mining.support import SupportFunction
+from repro.trees.canonical import tree_canonical_string
+from repro.trees.center import tree_center
+
+
+@pytest.fixture(autouse=True)
+def _contracts_off_after():
+    yield
+    disable_contracts()
+
+
+# ----------------------------------------------------------------------
+# toggling
+# ----------------------------------------------------------------------
+def test_disabled_by_default():
+    assert not contracts_enabled()
+
+
+def test_enable_disable():
+    enable_contracts()
+    assert contracts_enabled()
+    disable_contracts()
+    assert not contracts_enabled()
+
+
+def test_contract_scope_restores_previous_state():
+    assert not contracts_enabled()
+    with contract_scope():
+        assert contracts_enabled()
+        with contract_scope(enabled=False):
+            assert not contracts_enabled()
+        assert contracts_enabled()
+    assert not contracts_enabled()
+
+
+def test_env_variable_toggle(monkeypatch):
+    from repro.analysis.contracts import _env_enabled
+
+    monkeypatch.setenv("REPRO_CONTRACTS", "1")
+    assert _env_enabled()
+    monkeypatch.setenv("REPRO_CONTRACTS", "off")
+    assert not _env_enabled()
+
+
+# ----------------------------------------------------------------------
+# Theorem 1 — centers
+# ----------------------------------------------------------------------
+def test_correct_center_passes():
+    tree = path_graph(["a", "b", "c", "d", "e"])
+    assert verify_center_function(tree_center, tree) == (2,)
+
+
+def test_edge_center_passes():
+    tree = path_graph(["a", "b", "c", "d"])
+    assert verify_center_function(tree_center, tree) == (1, 2)
+
+
+def test_broken_center_is_caught():
+    tree = path_graph(["a", "b", "c", "d", "e"])
+
+    def always_root(t):
+        return (0,)
+
+    with pytest.raises(ContractViolation, match="eccentricity"):
+        verify_center_function(always_root, tree)
+
+
+def test_nonadjacent_pair_is_caught():
+    tree = path_graph(["a", "b", "c", "d", "e"])
+    with pytest.raises(ContractViolation):
+        check_center(tree, (0, 4))
+
+
+def test_disconnected_graph_is_caught():
+    forest = LabeledGraph(["a", "b", "c", "d"], [(0, 1, 1), (2, 3, 1)])
+    with pytest.raises(ContractViolation, match="connected"):
+        check_center(forest, (0,))
+
+
+# ----------------------------------------------------------------------
+# Section 4.2.2 — canonical invariance
+# ----------------------------------------------------------------------
+def test_correct_canonical_passes():
+    tree = star_graph("hub", ["x", "y", "z"])
+    label = verify_canonical_function(tree_canonical_string, tree)
+    assert label == tree_canonical_string(tree)
+
+
+def test_vertex_order_dependent_canonical_is_caught():
+    tree = path_graph(["a", "b", "c", "d"])
+
+    def broken(t):
+        # Depends on vertex numbering, not on the isomorphism class.
+        return "|".join(repr(t.vertex_label(v)) for v in t.vertices()) + repr(
+            sorted(t.edge_set())
+        )
+
+    with pytest.raises(ContractViolation, match="relabeling"):
+        verify_canonical_function(broken, tree)
+
+
+def test_wired_tree_canonical_runs_under_contracts():
+    tree = path_graph(["a", "b", "a", "c"])
+    with contract_scope():
+        assert tree_canonical_string(tree) == tree_canonical_string(
+            tree.relabeled([3, 1, 0, 2])
+        )
+
+
+def test_wired_center_runs_under_contracts():
+    tree = star_graph("hub", ["x", "y", "z", "x"])
+    with contract_scope():
+        assert tree_center(tree) == (0,)
+
+
+# ----------------------------------------------------------------------
+# Eq. 1 — support monotonicity
+# ----------------------------------------------------------------------
+def test_correct_support_passes():
+    sigma = SupportFunction(alpha=2, beta=1.5, eta=8)
+    check_support_monotone(sigma, sigma.max_size)
+
+
+def test_decreasing_support_is_caught():
+    with pytest.raises(ContractViolation, match="non-decreasing"):
+        check_support_monotone(lambda s: 1 if s == 1 else -s, max_size=4)
+
+
+def test_wrong_completeness_floor_is_caught():
+    with pytest.raises(ContractViolation, match="σ\\(1\\)"):
+        check_support_monotone(lambda s: 2.0, max_size=4)
+
+
+def test_support_constructor_checks_under_contracts():
+    with contract_scope():
+        SupportFunction(alpha=2, beta=1.5, eta=6)  # fine: monotone by shape
+
+
+# ----------------------------------------------------------------------
+# end-to-end self-test (what the CLI runs)
+# ----------------------------------------------------------------------
+def test_self_test_passes():
+    lines = self_test()
+    assert len(lines) == 3
+    assert all("OK" in line for line in lines)

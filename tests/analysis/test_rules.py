@@ -1,0 +1,208 @@
+"""Each lint rule fires on a minimal fixture snippet and stays quiet on the fix.
+
+Fixtures are linted under a path inside an order-sensitive package
+(``src/repro/mining/fixture.py``) so path-scoped rules apply; scoping
+itself is tested explicitly at the end.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import lint_source
+
+# A path that makes every path-scoped rule applicable.
+SENSITIVE = "src/repro/mining/fixture.py"
+# A path outside the order-sensitive packages (REPRO101 must not fire).
+INSENSITIVE = "src/repro/datasets/fixture.py"
+
+
+def rule_ids(source: str, path: str = SENSITIVE):
+    return [v.rule_id for v in lint_source(source, path)]
+
+
+# ----------------------------------------------------------------------
+# REPRO101 — dict-order materialized
+# ----------------------------------------------------------------------
+def test_repro101_for_loop_over_values():
+    src = "def f(d):\n    for p in d.values():\n        use(p)\n"
+    assert "REPRO101" in rule_ids(src)
+
+
+def test_repro101_for_loop_over_items():
+    src = "def f(d):\n    for k, v in d.items():\n        use(k, v)\n"
+    assert "REPRO101" in rule_ids(src)
+
+
+def test_repro101_ordered_comprehension():
+    src = "def f(d):\n    return [p.key for p in d.values()]\n"
+    assert "REPRO101" in rule_ids(src)
+
+
+def test_repro101_sorted_items_is_clean():
+    src = "def f(d):\n    for k, v in sorted(d.items()):\n        use(k, v)\n"
+    assert rule_ids(src) == []
+
+
+def test_repro101_order_insensitive_wrapper_is_clean():
+    src = "def f(d):\n    return sum(len(b) for b in d.values())\n"
+    assert rule_ids(src) == []
+
+
+def test_repro101_scoped_to_order_sensitive_packages():
+    src = "def f(d):\n    for p in d.values():\n        use(p)\n"
+    assert "REPRO101" not in rule_ids(src, INSENSITIVE)
+
+
+# ----------------------------------------------------------------------
+# REPRO102 — set iteration materialized
+# ----------------------------------------------------------------------
+def test_repro102_for_over_set_literal():
+    src = "def f():\n    for x in {'a', 'b'}:\n        use(x)\n"
+    assert "REPRO102" in rule_ids(src)
+
+
+def test_repro102_list_over_set_call():
+    src = "def f(xs):\n    return list(set(xs))\n"
+    assert "REPRO102" in rule_ids(src)
+
+
+def test_repro102_comprehension_over_set_comp():
+    src = "def f(xs):\n    return [y for y in {x.key for x in xs}]\n"
+    assert "REPRO102" in rule_ids(src)
+
+
+def test_repro102_fires_everywhere():
+    src = "def f(xs):\n    return list(set(xs))\n"
+    assert "REPRO102" in rule_ids(src, INSENSITIVE)
+
+
+def test_repro102_sorted_set_is_clean():
+    src = "def f(xs):\n    return sorted(set(xs))\n"
+    assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO103 — nondeterministic sort key
+# ----------------------------------------------------------------------
+def test_repro103_key_id():
+    src = "def f(xs):\n    return sorted(xs, key=id)\n"
+    assert "REPRO103" in rule_ids(src)
+
+
+def test_repro103_lambda_hash():
+    src = "def f(xs):\n    xs.sort(key=lambda x: hash(x.label))\n"
+    assert "REPRO103" in rule_ids(src)
+
+
+def test_repro103_canonical_key_is_clean():
+    src = "def f(xs):\n    return sorted(xs, key=lambda x: x.key)\n"
+    assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO111 / REPRO112 — RNG hygiene
+# ----------------------------------------------------------------------
+def test_repro111_module_level_call():
+    src = "import random\n\ndef f(xs):\n    return random.choice(xs)\n"
+    assert "REPRO111" in rule_ids(src)
+
+
+def test_repro111_aliased_import():
+    src = "import random as rnd\n\ndef f(xs):\n    rnd.shuffle(xs)\n"
+    assert "REPRO111" in rule_ids(src)
+
+
+def test_repro111_constructing_random_is_clean():
+    src = "import random\n\ndef f(seed):\n    return random.Random(seed)\n"
+    assert rule_ids(src) == []
+
+
+def test_repro111_injected_rng_is_clean():
+    src = "def f(xs, rng):\n    rng.shuffle(xs)\n    return rng.choice(xs)\n"
+    assert rule_ids(src) == []
+
+
+def test_repro112_from_import():
+    src = "from random import shuffle\n"
+    assert "REPRO112" in rule_ids(src)
+
+
+def test_repro112_importing_random_class_is_clean():
+    src = "from random import Random\n"
+    assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO121 — broad except
+# ----------------------------------------------------------------------
+def test_repro121_bare_except():
+    src = "def f():\n    try:\n        g()\n    except:\n        pass\n"
+    assert "REPRO121" in rule_ids(src)
+
+
+def test_repro121_broad_exception():
+    src = "def f():\n    try:\n        g()\n    except Exception:\n        return None\n"
+    assert "REPRO121" in rule_ids(src)
+
+
+def test_repro121_reraise_is_clean():
+    src = (
+        "def f():\n"
+        "    try:\n"
+        "        g()\n"
+        "    except Exception:\n"
+        "        cleanup()\n"
+        "        raise\n"
+    )
+    assert rule_ids(src) == []
+
+
+def test_repro121_narrow_catch_is_clean():
+    src = "def f():\n    try:\n        g()\n    except KeyError:\n        return None\n"
+    assert rule_ids(src) == []
+
+
+# ----------------------------------------------------------------------
+# REPRO122 — stray print
+# ----------------------------------------------------------------------
+def test_repro122_print_in_library_code():
+    src = "def f(x):\n    print(x)\n"
+    assert "REPRO122" in rule_ids(src, INSENSITIVE)
+
+
+@pytest.mark.parametrize(
+    "path",
+    [
+        "src/repro/cli/run.py",
+        "src/repro/bench/report.py",
+        "src/repro/analysis/__main__.py",
+        "src/repro/__main__.py",
+    ],
+)
+def test_repro122_allowed_surfaces(path):
+    src = "def f(x):\n    print(x)\n"
+    assert "REPRO122" not in rule_ids(src, path)
+
+
+# ----------------------------------------------------------------------
+# REPRO123 — mutating an index-owned graph
+# ----------------------------------------------------------------------
+def test_repro123_mutating_db_subscript():
+    src = "def f(db, gid):\n    db[gid].add_edge(0, 1, 'x')\n"
+    assert "REPRO123" in rule_ids(src)
+
+
+def test_repro123_mutating_attribute_database():
+    src = "def f(index, gid):\n    index.database[gid].add_vertex('C')\n"
+    assert "REPRO123" in rule_ids(src)
+
+
+def test_repro123_mutating_a_copy_is_clean():
+    src = "def f(db, gid):\n    g = db[gid].copy()\n    g.add_edge(0, 1, 'x')\n"
+    assert rule_ids(src) == []
+
+
+def test_repro123_mutating_local_graph_is_clean():
+    src = "def f():\n    g = LabeledGraph(['a', 'b'])\n    g.add_edge(0, 1, 1)\n"
+    assert rule_ids(src) == []

@@ -1,0 +1,79 @@
+"""The repository passes its own gate: linting ``src/`` finds nothing.
+
+Also exercises the CLI entry point the CI workflow calls, including its
+exit codes (0 clean, 1 violations, 2 contract failure).
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import lint_paths, rule_catalog
+from repro.analysis.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+
+def _run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_src_tree_is_clean():
+    report = lint_paths([SRC])
+    assert report.files_checked > 50
+    assert report.violations == [], "\n".join(
+        v.format() for v in report.violations
+    )
+
+
+def test_cli_lint_exits_zero_on_src():
+    proc = _run_cli("lint", "src/")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK:" in proc.stdout
+
+
+def test_cli_lint_exits_nonzero_on_each_rule_fixture(tmp_path):
+    fixtures = {
+        "REPRO101": "def f(d):\n    for p in d.values():\n        use(p)\n",
+        "REPRO102": "def f(xs):\n    return list(set(xs))\n",
+        "REPRO103": "def f(xs):\n    return sorted(xs, key=id)\n",
+        "REPRO111": "import random\n\ndef f(xs):\n    return random.choice(xs)\n",
+        "REPRO112": "from random import shuffle\n",
+        "REPRO121": "def f():\n    try:\n        g()\n    except:\n        pass\n",
+        "REPRO122": "def f(x):\n    print(x)\n",
+        "REPRO123": "def f(db, gid):\n    db[gid].add_edge(0, 1, 'x')\n",
+    }
+    for rule_id, source in fixtures.items():
+        bad = tmp_path / "repro" / "mining" / f"bad_{rule_id.lower()}.py"
+        bad.parent.mkdir(parents=True, exist_ok=True)
+        bad.write_text(source)
+        proc = _run_cli("lint", str(bad))
+        assert proc.returncode == 1, f"{rule_id}: {proc.stdout}{proc.stderr}"
+        assert rule_id in proc.stdout, f"{rule_id} not reported: {proc.stdout}"
+        bad.unlink()
+
+
+def test_cli_rules_prints_full_catalog():
+    proc = _run_cli("rules")
+    assert proc.returncode == 0
+    for cls in all_rules():
+        assert cls.rule_id in proc.stdout
+    # library view matches the CLI view
+    assert rule_catalog().splitlines()[0] in proc.stdout
+
+
+def test_cli_contracts_self_test_passes():
+    proc = _run_cli("contracts")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "contract" in proc.stdout.lower()

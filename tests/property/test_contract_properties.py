@@ -1,0 +1,47 @@
+"""Property test: canonical strings are relabeling-invariant, with the
+runtime contracts enabled so the wired checks run alongside.
+
+This is the Section 4.2.2 invariant driven by hypothesis rather than the
+fixed seeded permutations the contract checker uses internally: for any
+random labeled tree and any permutation of its vertices, the canonical
+string is unchanged — and the wired contract machinery itself stays
+silent on correct implementations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import contract_scope
+from repro.trees.canonical import tree_canonical_string
+from repro.trees.center import tree_center
+
+from tests.property.strategies import labeled_trees
+
+
+@st.composite
+def tree_and_permutation(draw):
+    tree = draw(labeled_trees(min_vertices=1, max_vertices=8))
+    perm = draw(st.permutations(list(range(tree.num_vertices))))
+    return tree, list(perm)
+
+
+@given(tree_and_permutation())
+@settings(max_examples=60, deadline=None)
+def test_canonical_string_invariant_under_relabeling(tp):
+    tree, perm = tp
+    with contract_scope():
+        assert tree_canonical_string(tree) == tree_canonical_string(
+            tree.relabeled(perm)
+        )
+
+
+@given(tree_and_permutation())
+@settings(max_examples=60, deadline=None)
+def test_center_maps_through_relabeling(tp):
+    tree, perm = tp
+    with contract_scope():
+        center = tree_center(tree)
+        relabeled_center = tree_center(tree.relabeled(perm))
+    assert tuple(sorted(perm[v] for v in center)) == relabeled_center
