@@ -1,0 +1,33 @@
+"""Extension — parallel index construction scaling (workers ∈ {1, 2, 4}).
+
+Beyond the paper: ``TreePiConfig(workers=N)`` fans per-graph extension
+enumeration and feature materialization over a process pool.  The rows
+record honest wall-clock numbers for this machine (on a single core the
+pool overhead makes N>1 *slower*; the interesting invariant is that the
+serialized index stays byte-identical for every N) plus the cached
+:class:`~repro.core.engine.QueryEngine` serving latency.
+"""
+
+from conftest import publish
+
+from repro.bench import experiment_parallel_scaling
+
+
+def test_parallel_scaling(benchmark, scale):
+    table = experiment_parallel_scaling(scale, workers=(1, 2, 4))
+    publish(table, "extension_parallel_scaling")
+
+    workers = table.column("workers")
+    assert workers == [1, 2, 4]
+    # The tentpole invariant: every worker count serializes identically.
+    assert all(flag == 1 for flag in table.column("byte_identical"))
+    # Warm cache must beat the cold pipeline on every row.
+    for cold, cached in zip(
+        table.column("engine_cold_ms"), table.column("engine_cached_ms")
+    ):
+        assert cached <= cold
+
+    def rebuild():
+        experiment_parallel_scaling(scale, workers=(1,))
+
+    benchmark.pedantic(rebuild, rounds=1, iterations=1)

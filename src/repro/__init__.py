@@ -17,8 +17,10 @@ Quickstart::
 """
 
 from repro.core import (
+    EngineStats,
     FeatureTree,
     IndexStats,
+    QueryEngine,
     QueryResult,
     TreePiConfig,
     TreePiIndex,
@@ -39,8 +41,10 @@ from repro.persistence import load_index, save_index
 __version__ = "1.0.0"
 
 __all__ = [
+    "EngineStats",
     "FeatureTree",
     "IndexStats",
+    "QueryEngine",
     "QueryResult",
     "TreePiConfig",
     "TreePiIndex",

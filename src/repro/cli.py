@@ -4,18 +4,24 @@ Commands
 --------
 ``generate``  write a benchmark database (chemical / synthetic) in gSpan
               text format,
-``build``     mine + build a TreePi index over a database file and save it,
-``query``     run query graphs (gSpan file) against a saved index,
+``build``     mine + build a TreePi index over a database file and save it
+              (``--workers N`` parallelizes construction; the saved index
+              is byte-identical for every N),
+``query``     run query graphs (gSpan file) against a saved index through
+              a :class:`repro.core.engine.QueryEngine` (``--cache-size``
+              memoizes isomorphic queries, ``--workers`` parallelizes
+              candidate verification),
 ``info``      summarize a saved index,
 ``bench``     run one of the paper-figure experiments and print its table.
 
 Example session::
 
     python -m repro generate --kind chemical --count 100 --out db.txt
-    python -m repro build --database db.txt --out index.json --eta 5
+    python -m repro build --database db.txt --out index.json --eta 5 --workers 4
     python -m repro generate --kind queries --database db.txt \\
         --edges 6 --count 10 --out queries.txt
-    python -m repro query --index index.json --queries queries.txt --stats
+    python -m repro query --index index.json --queries queries.txt \\
+        --stats --cache-size 64 --workers 4
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.core import TreePiConfig, TreePiIndex
+from repro.core import QueryEngine, TreePiConfig, TreePiIndex
 from repro.datasets import (
     extract_query_workload,
     generate_aids_like,
@@ -76,6 +82,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         support=SupportFunction(args.alpha, args.beta, args.eta),
         gamma=args.gamma,
         seed=args.seed,
+        workers=args.workers,
     )
     start = time.perf_counter()
     index = TreePiIndex.build(database, config)
@@ -92,12 +99,15 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 def _cmd_query(args: argparse.Namespace) -> int:
     index = load_index(args.index)
+    engine = QueryEngine(
+        index, cache_size=args.cache_size, verify_workers=args.workers
+    )
     queries = load_database(args.queries)
     total = 0.0
     for gid in queries.graph_ids():
         query = queries[gid]
         start = time.perf_counter()
-        result = index.query(query)
+        result = engine.query(query)
         elapsed = (time.perf_counter() - start) * 1000
         total += elapsed
         matches = ",".join(map(str, sorted(result.matches))) or "-"
@@ -112,6 +122,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             )
         print(line)
     print(f"total query time: {total:.2f}ms over {len(queries)} queries")
+    if args.stats:
+        stats = engine.stats
+        print(
+            f"engine: {stats.cache_hits} cache hits / {stats.queries} queries, "
+            f"{stats.candidates_pruned} candidates pruned, "
+            f"{stats.verifications_run} verifications"
+        )
     return 0
 
 
@@ -211,6 +228,11 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--database", required=True, help="gSpan-format database file")
     build.add_argument("--out", required=True, help="output index JSON")
     _add_sigma_arguments(build)
+    build.add_argument(
+        "--workers", type=int, default=1,
+        help="process-pool width for parallel construction "
+             "(the saved index is identical for every value)",
+    )
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="run query graphs against a saved index")
@@ -218,6 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--queries", required=True, help="gSpan-format query file")
     query.add_argument("--stats", action="store_true",
                        help="print per-query pipeline statistics")
+    query.add_argument(
+        "--cache-size", type=int, default=128,
+        help="LRU result-cache capacity (0 disables caching)",
+    )
+    query.add_argument(
+        "--workers", type=int, default=1,
+        help="thread-pool width for candidate verification",
+    )
     query.set_defaults(func=_cmd_query)
 
     info = sub.add_parser("info", help="summarize a saved index")

@@ -11,6 +11,7 @@ from repro.core.crf import (
     overlap_signature,
     union_graph,
 )
+from repro.core.engine import QueryEngine, query_cache_key
 from repro.core.feature import CenterSet, FeatureTree
 from repro.core.filtering import FilterOutcome, filter_candidates
 from repro.core.partition import (
@@ -20,8 +21,8 @@ from repro.core.partition import (
     random_partition,
     run_partitions,
 )
-from repro.core.statistics import IndexStats, QueryResult
-from repro.core.treepi import TreePiConfig, TreePiIndex
+from repro.core.statistics import EngineStats, IndexStats, QueryResult
+from repro.core.treepi import QueryPlan, TreePiConfig, TreePiIndex
 from repro.core.bptree import BPlusTree
 from repro.core.trie import StringTrie
 from repro.core.verification import VerificationStats, verify_candidate
@@ -43,10 +44,14 @@ __all__ = [
     "QueryPiece",
     "random_partition",
     "run_partitions",
+    "EngineStats",
     "IndexStats",
+    "QueryEngine",
+    "QueryPlan",
     "QueryResult",
     "TreePiConfig",
     "TreePiIndex",
+    "query_cache_key",
     "StringTrie",
     "BPlusTree",
     "VerificationStats",

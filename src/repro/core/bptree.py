@@ -224,7 +224,7 @@ class BPlusTree:
 
     def keys(self) -> Iterator[str]:
         # Not a dict view: BPlusTree.items() is a sorted leaf-chain scan.
-        for key, _ in self.items():  # noqa: REPRO101
+        for key, _ in self.items():  # noqa: REPRO101 - B+ leaf chain is already key-ordered
             yield key
 
     def range(self, low: str, high: str) -> Iterator[Tuple[str, int]]:

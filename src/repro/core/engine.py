@@ -1,0 +1,404 @@
+"""A thread-safe, caching query engine over a built TreePi index.
+
+:class:`TreePiIndex` is a single-shot pipeline: every ``query()`` call
+re-runs partition, filtering, pruning and verification from scratch, and
+nothing protects concurrent callers from in-flight ``insert``/``delete``
+maintenance.  Production substructure search looks different — the same
+hot queries arrive over and over, batches contain isomorphic duplicates,
+and reads vastly outnumber writes.  :class:`QueryEngine` adds that
+serving layer:
+
+* **Result caching.**  Answers are memoized in an LRU cache keyed on the
+  query's *canonical label*, so isomorphic queries share one entry.  Any
+  maintenance operation (``insert``/``delete``/``rebuild``) invalidates
+  the whole cache; a generation counter guarantees a result computed
+  against the pre-mutation index can never be stored afterwards.
+* **Concurrency.**  A readers-writer lock lets any number of queries run
+  simultaneously while maintenance gets exclusive access.  Verification
+  of independent candidates — the pipeline's dominant cost on non-trivial
+  queries — fans out over a thread pool when ``verify_workers > 1``.
+* **Batching.**  :meth:`query_batch` deduplicates isomorphic queries up
+  front and verifies the candidates of *all* member queries on one pool.
+* **Observability.**  Per-stage counters (:class:`EngineStats`) are kept
+  under the engine lock and surfaced through the wrapped index's
+  :class:`~repro.core.statistics.IndexStats` as ``stats.engine``.
+
+The engine never changes answers: every result is exactly what the
+wrapped :meth:`TreePiIndex.query` would return (the differential suite in
+``tests/differential`` locks this down against the scan and gIndex
+oracles).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.statistics import EngineStats, QueryResult
+from repro.core.treepi import QueryPlan, TreePiIndex
+from repro.core.verification import VerificationStats
+from repro.exceptions import IndexError_
+from repro.graphs.canonical import canonical_label
+from repro.graphs.graph import LabeledGraph
+from repro.trees.canonical import tree_canonical_string
+
+
+def query_cache_key(query: LabeledGraph) -> str:
+    """The cache key of a query: its canonical label, scheme-prefixed.
+
+    Trees use the cheap tree canonicalization, general graphs the minimum
+    DFS code; the prefix keeps the two namespaces from colliding.
+    """
+    if query.is_tree():
+        return "t:" + tree_canonical_string(query)
+    return "g:" + canonical_label(query)
+
+
+class _ReadWriteLock:
+    """A writer-preferring readers-writer lock.
+
+    Queries hold the read side for their full pipeline so maintenance can
+    never observe (or cause) a half-executed query; waiting writers block
+    new readers, so a stream of queries cannot starve maintenance.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        with self._cond:
+            while self._writer_active or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        with self._cond:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_active = False
+                self._cond.notify_all()
+
+
+class _LRUCache:
+    """A size-bounded mapping with least-recently-used eviction.
+
+    Not internally synchronized — the engine guards every access with its
+    own mutex.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self._data: "OrderedDict[str, QueryResult]" = OrderedDict()
+
+    def get(self, key: str) -> Optional[QueryResult]:
+        result = self._data.get(key)
+        if result is not None:
+            self._data.move_to_end(key)
+        return result
+
+    def put(self, key: str, value: QueryResult) -> None:
+        if self.capacity <= 0:
+            return
+        self._data[key] = value
+        self._data.move_to_end(key)
+        while len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+
+class QueryEngine:
+    """Concurrent, cached query serving over one :class:`TreePiIndex`.
+
+    Parameters
+    ----------
+    index:
+        The built index to serve.  The engine takes over maintenance —
+        route ``insert``/``delete``/``rebuild`` through the engine, not
+        the raw index, or cached results may go stale.
+    cache_size:
+        Maximum number of distinct (up to isomorphism) query results kept;
+        ``0`` disables caching.
+    verify_workers:
+        Thread-pool width for candidate verification.  ``1`` verifies
+        inline; answers are identical either way.
+    """
+
+    def __init__(
+        self,
+        index: TreePiIndex,
+        cache_size: int = 128,
+        verify_workers: int = 1,
+    ) -> None:
+        if cache_size < 0:
+            raise IndexError_(f"cache_size must be >= 0, got {cache_size}")
+        if verify_workers < 1:
+            raise IndexError_(
+                f"verify_workers must be >= 1, got {verify_workers}"
+            )
+        self._index = index
+        self._verify_workers = verify_workers
+        self._rw = _ReadWriteLock()
+        self._mutex = threading.Lock()
+        self._cache = _LRUCache(cache_size)
+        self._generation = 0
+        self._counters = EngineStats()
+        index.stats.engine = self._counters
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> TreePiIndex:
+        return self._index
+
+    @property
+    def cache_size(self) -> int:
+        return self._cache.capacity
+
+    @property
+    def cached_results(self) -> int:
+        """Number of answers currently cached."""
+        with self._mutex:
+            return len(self._cache)
+
+    @property
+    def stats(self) -> EngineStats:
+        """A consistent snapshot of the per-stage counters."""
+        with self._mutex:
+            return self._counters.snapshot()
+
+    # ------------------------------------------------------------------
+    # querying
+    # ------------------------------------------------------------------
+    def query(self, query: LabeledGraph) -> QueryResult:
+        """Answer one query, serving from cache when possible."""
+        key = query_cache_key(query)
+        cached, generation = self._cache_lookup(key)
+        if cached is not None:
+            return cached
+        with self._rw.read_locked():
+            result = self._execute(query)
+        self._cache_store(key, result, generation)
+        return result
+
+    def query_batch(self, queries: Sequence[LabeledGraph]) -> List[QueryResult]:
+        """Answer many queries at once.
+
+        Isomorphic duplicates are detected by canonical label and computed
+        once; the verification work of every distinct uncached query is
+        flattened into independent (query, candidate) tasks and run on a
+        single thread pool.
+        """
+        keys = [query_cache_key(q) for q in queries]
+        resolved: Dict[str, QueryResult] = {}
+        pending: List[Tuple[str, LabeledGraph]] = []
+        generation = 0
+        with self._mutex:
+            self._counters.batch_queries += len(queries)
+            self._counters.queries += len(queries)
+            generation = self._generation
+            seen_in_batch = set()
+            for key, query in zip(keys, queries):
+                if key in seen_in_batch:
+                    self._counters.batch_dedup_hits += 1
+                    continue
+                seen_in_batch.add(key)
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._counters.cache_hits += 1
+                    resolved[key] = cached
+                else:
+                    self._counters.cache_misses += 1
+                    pending.append((key, query))
+        if pending:
+            with self._rw.read_locked():
+                computed = self._execute_batch([q for _, q in pending])
+            for (key, _), result in zip(pending, computed):
+                resolved[key] = result
+                self._cache_store(key, result, generation)
+        return [resolved[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    # maintenance (write-locked; every mutation invalidates the cache)
+    # ------------------------------------------------------------------
+    def insert(self, graph: LabeledGraph) -> int:
+        """Add a graph through the index's maintenance path."""
+        with self._rw.write_locked():
+            gid = self._index.insert(graph)
+            self._invalidate("inserts")
+        return gid
+
+    def delete(self, graph_id: int) -> None:
+        """Remove a graph and purge it from every feature."""
+        with self._rw.write_locked():
+            self._index.delete(graph_id)
+            self._invalidate("deletes")
+
+    def rebuild(self) -> None:
+        """Reconstruct the index from the current database state in place."""
+        with self._rw.write_locked():
+            rebuilt = self._index.rebuild()
+            rebuilt.stats.engine = self._counters
+            self._index = rebuilt
+            self._invalidate("rebuilds")
+
+    def needs_rebuild(self) -> bool:
+        return self._index.needs_rebuild()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _cache_lookup(
+        self, key: str
+    ) -> Tuple[Optional[QueryResult], int]:
+        """Count the query and return ``(cached result, generation)``."""
+        with self._mutex:
+            self._counters.queries += 1
+            cached = self._cache.get(key)
+            if cached is not None:
+                self._counters.cache_hits += 1
+            else:
+                self._counters.cache_misses += 1
+            return cached, self._generation
+
+    def _cache_store(
+        self, key: str, result: QueryResult, generation: int
+    ) -> None:
+        """Memoize ``result`` unless the index changed since it started."""
+        with self._mutex:
+            if self._generation == generation:
+                self._cache.put(key, result)
+
+    def _invalidate(self, counter: str) -> None:
+        """Bump the generation and drop every cached answer.
+
+        Called while holding the write lock, so no query pipeline is in
+        flight; results still waiting to be stored observe the generation
+        bump and discard themselves.
+        """
+        with self._mutex:
+            self._generation += 1
+            self._cache.clear()
+            self._counters.invalidations += 1
+            setattr(
+                self._counters, counter, getattr(self._counters, counter) + 1
+            )
+
+    def _count_pipeline(self, plan: QueryPlan) -> None:
+        with self._mutex:
+            self._counters.candidates_filtered += plan.candidates_after_filter
+            self._counters.candidates_pruned += plan.candidates_after_filter - len(
+                plan.survivors
+            )
+            self._counters.verifications_run += len(plan.survivors)
+
+    def _execute(self, query: LabeledGraph) -> QueryResult:
+        """Run one full pipeline (caller holds the read lock)."""
+        plan = self._index.plan(query)
+        if plan.result is not None:
+            return plan.result
+        self._count_pipeline(plan)
+        start = time.perf_counter()
+        vstats = VerificationStats()
+        if self._verify_workers > 1 and len(plan.survivors) > 1:
+            matches = self._verify_parallel([plan], vstats)[0]
+        else:
+            matches = frozenset(
+                gid
+                for gid in plan.survivors
+                if self._index.verify(plan, gid, vstats)
+            )
+        return self._index.finish(
+            plan, matches, vstats, time.perf_counter() - start
+        )
+
+    def _execute_batch(
+        self, queries: Sequence[LabeledGraph]
+    ) -> List[QueryResult]:
+        """Run pipelines for distinct queries, pooling their verification."""
+        plans = [self._index.plan(query) for query in queries]
+        open_plans = [plan for plan in plans if plan.result is None]
+        for plan in open_plans:
+            self._count_pipeline(plan)
+        start = time.perf_counter()
+        vstats = VerificationStats()
+        match_sets = self._verify_parallel(open_plans, vstats)
+        elapsed = time.perf_counter() - start
+        results: List[QueryResult] = []
+        open_index = 0
+        for plan in plans:
+            if plan.result is not None:
+                results.append(plan.result)
+            else:
+                results.append(
+                    self._index.finish(
+                        plan, match_sets[open_index], vstats, elapsed
+                    )
+                )
+                open_index += 1
+        return results
+
+    def _verify_parallel(
+        self, plans: List[QueryPlan], vstats: VerificationStats
+    ) -> List[FrozenSet[int]]:
+        """Verify the survivors of every plan, fanning out when configured.
+
+        Tasks are independent ``(plan, candidate)`` pairs; each worker
+        keeps private verification counters that are merged at the end, so
+        the totals match a serial run exactly.
+        """
+        tasks: List[Tuple[int, int]] = [
+            (plan_idx, gid)
+            for plan_idx, plan in enumerate(plans)
+            for gid in plan.survivors
+        ]
+
+        def run_one(task: Tuple[int, int]) -> Tuple[int, int, bool, VerificationStats]:
+            plan_idx, gid = task
+            local = VerificationStats()
+            ok = self._index.verify(plans[plan_idx], gid, local)
+            return plan_idx, gid, ok, local
+
+        if self._verify_workers > 1 and len(tasks) > 1:
+            with ThreadPoolExecutor(max_workers=self._verify_workers) as pool:
+                outcomes = list(pool.map(run_one, tasks))
+        else:
+            outcomes = [run_one(task) for task in tasks]
+
+        matched: Dict[int, Set[int]] = {}
+        for plan_idx, gid, ok, local in outcomes:
+            vstats.merge(local)
+            if ok:
+                matched.setdefault(plan_idx, set()).add(gid)
+        return [
+            frozenset(matched.get(plan_idx, set()))
+            for plan_idx in range(len(plans))
+        ]

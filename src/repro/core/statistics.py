@@ -7,11 +7,40 @@ and construction/query wall times (Figs. 12/13).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet
+from dataclasses import dataclass, field, replace
+from typing import Dict, FrozenSet, Optional
 
 from repro.core.verification import VerificationStats
 from repro.mining.subtree_miner import MiningStats
+
+
+@dataclass
+class EngineStats:
+    """Per-stage runtime counters of one :class:`repro.core.engine.QueryEngine`.
+
+    Mutated only under the engine's internal lock; read a consistent copy
+    through :meth:`snapshot` (or ``QueryEngine.stats``).  Attached to the
+    wrapped index's :class:`IndexStats` as ``stats.engine`` so the same
+    record that describes the build also surfaces query-serving behavior;
+    it is runtime-only state and is never persisted.
+    """
+
+    queries: int = 0                 # every query() / query_batch() member
+    cache_hits: int = 0
+    cache_misses: int = 0
+    batch_queries: int = 0           # queries arriving through query_batch()
+    batch_dedup_hits: int = 0        # batch members answered by an isomorph
+    candidates_filtered: int = 0     # |P_q| summed over executed pipelines
+    candidates_pruned: int = 0       # filtered candidates removed pre-verify
+    verifications_run: int = 0       # exact subgraph-isomorphism tests
+    invalidations: int = 0           # cache clears (insert/delete/rebuild)
+    inserts: int = 0
+    deletes: int = 0
+    rebuilds: int = 0
+
+    def snapshot(self) -> "EngineStats":
+        """An independent copy (safe to keep across further queries)."""
+        return replace(self)
 
 
 @dataclass
@@ -24,6 +53,9 @@ class IndexStats:
     build_seconds: float
     mining: MiningStats
     shrink_removed: int
+    #: live counters of the QueryEngine serving this index, if any
+    #: (runtime-only; excluded from persistence).
+    engine: Optional[EngineStats] = None
 
     @property
     def max_feature_size(self) -> int:

@@ -18,7 +18,8 @@ from __future__ import annotations
 
 import random
 import time
-from dataclasses import dataclass
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.center_prune import CenterConstraintProblem, center_prune
@@ -32,8 +33,9 @@ from repro.exceptions import GraphError, IndexError_
 from repro.graphs.distances import DistanceOracle
 from repro.graphs.graph import GraphDatabase, LabeledGraph
 from repro.graphs.isomorphism import is_subgraph_isomorphic, subgraph_monomorphisms
+from repro.mining.patterns import MinedPattern
 from repro.mining.shrink import leaf_removed_subtrees, shrink_feature_set
-from repro.mining.subtree_miner import FrequentSubtreeMiner
+from repro.mining.subtree_miner import FrequentSubtreeMiner, _chunk
 from repro.mining.support import SupportFunction
 from repro.trees.canonical import tree_canonical_string
 from repro.trees.center import tree_center
@@ -90,6 +92,20 @@ def _augmentation_keys(
     return single_edge_keys, sorted(larger_keys)
 
 
+def _materialize_features(
+    items: List[Tuple[int, MinedPattern]]
+) -> List[FeatureTree]:
+    """Build feature-location tables for a chunk of (id, pattern) pairs.
+
+    A pure function of its input, so chunks can be fanned out over a
+    process pool; feature ids are assigned by the caller in canonical-key
+    order, making the merged list independent of chunking.
+    """
+    return [
+        FeatureTree.from_mined_pattern(fid, pattern) for fid, pattern in items
+    ]
+
+
 @dataclass(frozen=True)
 class TreePiConfig:
     """Build/query knobs (paper defaults in Section 6.1 commentary).
@@ -112,7 +128,13 @@ class TreePiConfig:
       set to 0 to always reconstruct, as the paper describes),
     * ``max_embeddings_per_graph`` — optional miner memory cap (approximate
       mining; the default ``None`` keeps the index exact),
-    * ``seed``    — RNG seed for the randomized partition.
+    * ``seed``    — RNG seed for the randomized partition,
+    * ``workers`` — process-pool width for index construction.  Mining's
+      per-graph embedding enumeration and the feature-location table
+      build are fanned out and merged in canonical-key order, so the
+      built index (and its serialized JSON) is byte-identical for every
+      value; ``workers`` is a runtime knob, not part of index identity,
+      and is deliberately excluded from persistence.
     """
 
     support: SupportFunction
@@ -126,6 +148,27 @@ class TreePiConfig:
     center_prune_budget: int = 2000
     max_embeddings_per_graph: Optional[int] = None
     seed: int = 2007
+    workers: int = 1
+
+
+@dataclass
+class QueryPlan:
+    """The state of one query after partition / filter / prune.
+
+    ``result`` is set when the pipeline short-circuited (direct hit,
+    provably empty answer); otherwise ``survivors`` lists the candidate
+    graph ids still awaiting :meth:`TreePiIndex.verify`, and ``problem``
+    carries the center-constraint instance verification anchors on.
+    """
+
+    query: LabeledGraph
+    result: Optional[QueryResult] = None
+    survivors: List[int] = field(default_factory=list)
+    problem: Optional[CenterConstraintProblem] = None
+    partition_size: int = 0
+    sfq_size: int = 0
+    candidates_after_filter: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 class TreePiIndex:
@@ -170,24 +213,36 @@ class TreePiIndex:
         """Database preprocessing: mine, shrink, materialize features."""
         if len(database) == 0:
             raise IndexError_("cannot build an index over an empty database")
+        if config.workers < 1:
+            raise IndexError_(f"workers must be >= 1, got {config.workers}")
         start = time.perf_counter()
         miner = FrequentSubtreeMiner(
             database,
             config.support,
             max_embeddings_per_graph=config.max_embeddings_per_graph,
+            workers=config.workers,
         )
         mined = miner.mine()
         shrink = shrink_feature_set(mined.patterns, config.gamma)
-        kept = shrink.kept.values()
+        kept = list(shrink.kept.values())
         if config.paths_only:
             kept = [
                 p for p in kept
                 if all(p.graph.degree(v) <= 2 for v in p.graph.vertices())
             ]
-        features = [
-            FeatureTree.from_mined_pattern(fid, pattern)
-            for fid, pattern in enumerate(kept)
-        ]
+        enumerated = list(enumerate(kept))
+        if config.workers > 1 and len(enumerated) > 1:
+            with ProcessPoolExecutor(max_workers=config.workers) as pool:
+                parts = list(
+                    pool.map(
+                        _materialize_features,
+                        _chunk(enumerated, config.workers),
+                    )
+                )
+            features = [f for part in parts for f in part]
+            features.sort(key=lambda f: f.feature_id)
+        else:
+            features = _materialize_features(enumerated)
         by_size: Dict[int, int] = {}
         for f in features:
             by_size[f.size] = by_size.get(f.size, 0) + 1
@@ -234,6 +289,26 @@ class TreePiIndex:
     # ------------------------------------------------------------------
     def query(self, query: LabeledGraph) -> QueryResult:
         """Find ``D_q`` — all database graphs containing ``query``."""
+        plan = self.plan(query)
+        if plan.result is not None:
+            return plan.result
+        t0 = time.perf_counter()
+        vstats = VerificationStats()
+        matches = frozenset(
+            gid for gid in plan.survivors if self.verify(plan, gid, vstats)
+        )
+        return self.finish(plan, matches, vstats, time.perf_counter() - t0)
+
+    def plan(self, query: LabeledGraph) -> "QueryPlan":
+        """Run partition / filter / prune, stopping short of verification.
+
+        Returns a :class:`QueryPlan`; when the pipeline can already prove
+        the answer (direct feature hit, missing single edge, empty filter
+        intersection) the plan carries a final ``result`` and an empty
+        survivor list, otherwise the survivors still need :meth:`verify`.
+        This staged form is what :class:`repro.core.engine.QueryEngine`
+        uses to parallelize verification across candidates.
+        """
         if query.num_edges == 0:
             raise GraphError("query graphs must have at least one edge")
         if not query.is_connected():
@@ -249,14 +324,17 @@ class TreePiIndex:
             if feature is not None:
                 phases["lookup"] = time.perf_counter() - t0
                 support = feature.support_set()
-                return QueryResult(
-                    matches=support,
-                    direct_hit=True,
-                    partition_size=1,
-                    sfq_size=1,
-                    candidates_after_filter=len(support),
-                    candidates_after_prune=len(support),
-                    phase_seconds=phases,
+                return QueryPlan(
+                    query=query,
+                    result=QueryResult(
+                        matches=support,
+                        direct_hit=True,
+                        partition_size=1,
+                        sfq_size=1,
+                        candidates_after_filter=len(support),
+                        candidates_after_prune=len(support),
+                        phase_seconds=phases,
+                    ),
                 )
 
         # Every single edge of the query must be an indexed feature (σ(1)=1
@@ -271,7 +349,12 @@ class TreePiIndex:
         for key in single_edge_keys:
             if key not in self._lookup:
                 phases["partition"] = time.perf_counter() - t0
-                return QueryResult(matches=frozenset(), phase_seconds=phases)
+                return QueryPlan(
+                    query=query,
+                    result=QueryResult(
+                        matches=frozenset(), phase_seconds=phases
+                    ),
+                )
         extra_keys = single_edge_keys + larger_keys
 
         # Stage-1 filter on the augmentation subtrees alone.  Cheap (pure
@@ -307,13 +390,16 @@ class TreePiIndex:
         )
         phases["filter"] = time.perf_counter() - t0
         if outcome.definitely_empty:
-            return QueryResult(
-                matches=frozenset(),
-                partition_size=run.best.size,
-                sfq_size=run.sfq_size,
-                candidates_after_filter=len(outcome.candidates),
-                candidates_after_prune=0,
-                phase_seconds=phases,
+            return QueryPlan(
+                query=query,
+                result=QueryResult(
+                    matches=frozenset(),
+                    partition_size=run.best.size,
+                    sfq_size=run.sfq_size,
+                    candidates_after_filter=len(outcome.candidates),
+                    candidates_after_prune=0,
+                    phase_seconds=phases,
+                ),
             )
 
         t0 = time.perf_counter()
@@ -332,37 +418,54 @@ class TreePiIndex:
         else:
             survivors = candidates
         phases["center_prune"] = time.perf_counter() - t0
-
-        t0 = time.perf_counter()
-        vstats = VerificationStats()
-        if query.num_edges <= self._config.direct_verification_max_edges:
-            matches = frozenset(
-                gid
-                for gid in survivors
-                if is_subgraph_isomorphic(query, self._db[gid])
-            )
-        else:
-            matches = frozenset(
-                gid
-                for gid in survivors
-                if verify_candidate(
-                    query,
-                    problem,
-                    self._db[gid],
-                    gid,
-                    vstats,
-                    oracle=self._oracles.setdefault(
-                        gid, DistanceOracle(self._db[gid])
-                    ),
-                )
-            )
-        phases["verification"] = time.perf_counter() - t0
-        return QueryResult(
-            matches=matches,
+        return QueryPlan(
+            query=query,
+            survivors=list(survivors),
+            problem=problem,
             partition_size=run.best.size,
             sfq_size=run.sfq_size,
             candidates_after_filter=len(outcome.candidates),
-            candidates_after_prune=len(survivors),
+            phase_seconds=phases,
+        )
+
+    def verify(
+        self, plan: "QueryPlan", gid: int, vstats: VerificationStats
+    ) -> bool:
+        """Exactly test one surviving candidate of ``plan``.
+
+        Safe to call concurrently from several threads for distinct
+        candidates of the same plan as long as each caller passes its own
+        ``vstats`` (or tolerates racy counter increments).
+        """
+        query = plan.query
+        if query.num_edges <= self._config.direct_verification_max_edges:
+            return is_subgraph_isomorphic(query, self._db[gid])
+        assert plan.problem is not None
+        return verify_candidate(
+            query,
+            plan.problem,
+            self._db[gid],
+            gid,
+            vstats,
+            oracle=self._oracles.setdefault(gid, DistanceOracle(self._db[gid])),
+        )
+
+    def finish(
+        self,
+        plan: "QueryPlan",
+        matches: frozenset,
+        vstats: VerificationStats,
+        verify_seconds: float,
+    ) -> QueryResult:
+        """Assemble the final :class:`QueryResult` for a verified plan."""
+        phases = dict(plan.phase_seconds)
+        phases["verification"] = verify_seconds
+        return QueryResult(
+            matches=matches,
+            partition_size=plan.partition_size,
+            sfq_size=plan.sfq_size,
+            candidates_after_filter=plan.candidates_after_filter,
+            candidates_after_prune=len(plan.survivors),
             phase_seconds=phases,
             verification=vstats,
         )

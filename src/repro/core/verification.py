@@ -48,6 +48,12 @@ class VerificationStats:
     piece_embeddings_enumerated: int = 0  # anchored embeddings expanded
     memo_hits: int = 0
 
+    def merge(self, other: "VerificationStats") -> None:
+        """Fold another counter set into this one (parallel verification)."""
+        self.assignments_tried += other.assignments_tried
+        self.piece_embeddings_enumerated += other.piece_embeddings_enumerated
+        self.memo_hits += other.memo_hits
+
 
 def _anchor_seeds(piece_center: Center, assigned: Center) -> List[Dict[int, int]]:
     """Seed mappings pinning the piece's center onto the assigned location.
@@ -187,7 +193,7 @@ def verify_candidate(
                 seed = dict(overlap_seed)
                 conflict = False
                 # Conflict scan over every entry — order-insensitive.
-                for pv, gv in anchor.items():  # noqa: REPRO101
+                for pv, gv in anchor.items():  # noqa: REPRO101 - conflict scan over every entry; order-free
                     if seed.get(pv, gv) != gv:
                         conflict = True
                         break
@@ -200,7 +206,7 @@ def verify_candidate(
                     new_used = set(used)
                     good = True
                     # Consistency scan over every entry — order-insensitive.
-                    for pv, gv in emb.items():  # noqa: REPRO101
+                    for pv, gv in emb.items():  # noqa: REPRO101 - consistency scan over every entry; order-free
                         qv = to_query[pv]
                         known = extended.get(qv)
                         if known is None:

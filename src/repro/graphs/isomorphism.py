@@ -76,7 +76,7 @@ def subgraph_monomorphisms(
     # (Pure checks over every entry — iteration order cannot change the
     # outcome, hence the REPRO101 suppressions.)
     used_targets = set()
-    for pv, tv in seed.items():  # noqa: REPRO101
+    for pv, tv in seed.items():  # noqa: REPRO101 - validation visits every entry; order-free
         if pattern.vertex_label(pv) != target.vertex_label(tv):
             return
         if pattern.degree(pv) > target.degree(tv):
@@ -84,8 +84,8 @@ def subgraph_monomorphisms(
         if tv in used_targets:
             return
         used_targets.add(tv)
-    for pv, tv in seed.items():  # noqa: REPRO101
-        for pw, tw in seed.items():  # noqa: REPRO101
+    for pv, tv in seed.items():  # noqa: REPRO101 - edge-consistency scan; order-free
+        for pw, tw in seed.items():  # noqa: REPRO101 - pairwise check over all entries; order-free
             if pv < pw and pattern.has_edge(pv, pw):
                 if not target.has_edge(tv, tw):
                     return
@@ -117,7 +117,7 @@ def subgraph_monomorphisms(
         earlier_nbrs.append(
             # Adjacency insertion order is deterministic (see LabeledGraph);
             # sorting the hottest-loop setup would only slow the matcher.
-            [(w, lbl) for w, lbl in pattern._adj[v].items() if position[w] < i]  # noqa: REPRO101
+            [(w, lbl) for w, lbl in pattern._adj[v].items() if position[w] < i]  # noqa: REPRO101 - all back-edges collected; order-free
         )
     want_labels = [p_labels[v] for v in order]
     want_degrees = [len(pattern._adj[v]) for v in order]
@@ -130,7 +130,7 @@ def subgraph_monomorphisms(
             # Draw from the image neighborhood of one matched anchor.
             aw, albl = anchors[0]
             # Hottest loop in the library; adjacency order is deterministic.
-            for tv, tlbl in t_adj[mapping[aw]].items():  # noqa: REPRO101
+            for tv, tlbl in t_adj[mapping[aw]].items():  # noqa: REPRO101 - candidates re-sorted by the caller's loop order
                 if (
                     tv not in used
                     and tlbl == albl

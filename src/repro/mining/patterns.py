@@ -74,6 +74,6 @@ def translate_embedding(
     """
     out: List[int] = [0] * len(embedding)
     # Writes land at fixed indices, so iteration order cannot matter.
-    for dup_vertex, rep_vertex in iso_to_representative.items():  # noqa: REPRO101
+    for dup_vertex, rep_vertex in iso_to_representative.items():  # noqa: REPRO101 - builds a dict keyed by entries; order-free
         out[rep_vertex] = embedding[dup_vertex]
     return tuple(out)

@@ -17,13 +17,29 @@ Embeddings may optionally be capped per (pattern, graph) to bound memory —
 the memory pressure Section 4.1 discusses.  With a cap the mine becomes
 approximate (a graph whose retained embeddings all miss an extension can
 be undercounted at the next level); the default is exact.
+
+Each level is split into two phases so the expensive part parallelizes:
+
+1. **Site enumeration** (:func:`_extension_sites_chunk`) walks the stored
+   embeddings of one database graph and records, per pattern, every
+   one-edge extension *descriptor* together with the raw extended
+   embeddings.  This is a pure function of ``(graph, embeddings)`` — with
+   ``workers > 1`` chunks of graphs are fanned out over a
+   :class:`~concurrent.futures.ProcessPoolExecutor`.
+2. **Deterministic merge** (:meth:`FrequentSubtreeMiner._merge_level`)
+   folds the per-graph sites into candidate patterns in sorted
+   (pattern-key, descriptor, graph-id, embedding) order.  Representatives
+   and embedding translations are a function of that canonical order, not
+   of discovery order, so the mined result — and everything downstream,
+   feature ids included — is identical for every worker count.
 """
 
 from __future__ import annotations
 
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple
 
 from repro.graphs.graph import GraphDatabase, LabeledGraph
 from repro.graphs.isomorphism import subgraph_monomorphisms
@@ -34,6 +50,100 @@ from repro.trees.canonical import tree_canonical_string
 # An extension descriptor: attach a new vertex labeled `vertex_label` to
 # pattern vertex `anchor` through an edge labeled `edge_label`.
 Descriptor = Tuple[int, Hashable, Hashable]
+
+# Phase-1 output for one graph: pattern key -> descriptor -> raw extended
+# embeddings (still in "parent pattern + appended vertex" coordinates).
+ExtensionSites = Dict[str, Dict[Descriptor, Set[Embedding]]]
+
+# Phase-1 output of the single-edge scan for one graph: canonical key ->
+# (ordered vertex labels, edge label, oriented embeddings).
+SingleEdgeSites = Dict[str, Tuple[Tuple[Hashable, Hashable], Hashable, Set[Embedding]]]
+
+
+def _descriptor_sort_key(descriptor: Descriptor) -> Tuple[int, str, str]:
+    """Total order over descriptors (labels compared via ``repr``)."""
+    anchor, elabel, vlabel = descriptor
+    return (anchor, repr(elabel), repr(vlabel))
+
+
+def _single_edge_sites(graph: LabeledGraph) -> SingleEdgeSites:
+    """Every distinct labeled edge of one graph with its oriented embeddings."""
+    sites: SingleEdgeSites = {}
+    for u, v, elabel in graph.edges():
+        lu, lv = graph.vertex_label(u), graph.vertex_label(v)
+        # Deterministic representative orientation via repr order.
+        if repr(lu) <= repr(lv):
+            labels, oriented = (lu, lv), [(u, v)]
+        else:
+            labels, oriented = (lv, lu), [(v, u)]
+        if lu == lv:
+            oriented = [(u, v), (v, u)]
+        tree = LabeledGraph(labels, [(0, 1, elabel)])
+        key = tree_canonical_string(tree)
+        entry = sites.get(key)
+        if entry is None:
+            entry = (labels, elabel, set())
+            sites[key] = entry
+        entry[2].update(oriented)
+    return sites
+
+
+def _single_edges_chunk(
+    graphs: List[LabeledGraph],
+) -> List[Tuple[int, SingleEdgeSites]]:
+    """Phase 1 of level 1 for a chunk of graphs (process-pool task)."""
+    out: List[Tuple[int, SingleEdgeSites]] = []
+    for graph in graphs:
+        gid = graph.graph_id
+        if gid is None:
+            raise ValueError("database graphs must carry a graph_id")
+        out.append((gid, _single_edge_sites(graph)))
+    return out
+
+
+def _extension_sites(
+    graph: LabeledGraph, embeddings_by_key: Dict[str, List[Embedding]]
+) -> ExtensionSites:
+    """Enumerate every one-edge extension of every embedding in one graph."""
+    sites: ExtensionSites = {}
+    for key, embeddings in sorted(embeddings_by_key.items()):
+        per_descriptor = sites.setdefault(key, {})
+        for emb in embeddings:
+            image = set(emb)
+            for pv, gv in enumerate(emb):
+                for w, elabel in graph.neighbor_items(gv):
+                    if w in image:
+                        continue
+                    descriptor: Descriptor = (pv, elabel, graph.vertex_label(w))
+                    per_descriptor.setdefault(descriptor, set()).add(emb + (w,))
+    return sites
+
+
+def _extension_sites_chunk(
+    items: List[Tuple[LabeledGraph, Dict[str, List[Embedding]]]],
+) -> List[Tuple[int, ExtensionSites]]:
+    """Phase 1 of one extension level for a chunk of graphs (pool task)."""
+    out: List[Tuple[int, ExtensionSites]] = []
+    for graph, embeddings_by_key in items:
+        gid = graph.graph_id
+        if gid is None:
+            raise ValueError("database graphs must carry a graph_id")
+        out.append((gid, _extension_sites(graph, embeddings_by_key)))
+    return out
+
+
+def _chunk(items: List, chunks: int) -> List[List]:
+    """Split ``items`` into at most ``chunks`` contiguous, balanced runs."""
+    n = len(items)
+    chunks = max(1, min(chunks, n))
+    size, extra = divmod(n, chunks)
+    out: List[List] = []
+    start = 0
+    for i in range(chunks):
+        end = start + size + (1 if i < extra else 0)
+        out.append(items[start:end])
+        start = end
+    return out
 
 
 @dataclass
@@ -100,6 +210,10 @@ class FrequentSubtreeMiner:
     max_embeddings_per_graph:
         Optional cap on stored embeddings per (pattern, graph); ``None``
         (default) keeps mining exact.
+    workers:
+        Process-pool width for the per-graph embedding enumeration.  The
+        merge order is canonical, so the mined patterns — embeddings,
+        supports, representatives — are identical for every value.
     """
 
     def __init__(
@@ -107,10 +221,14 @@ class FrequentSubtreeMiner:
         database: GraphDatabase,
         support: SupportFunction,
         max_embeddings_per_graph: Optional[int] = None,
+        workers: int = 1,
     ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
         self._db = database
         self._support = support
         self._cap = max_embeddings_per_graph
+        self._workers = workers
 
     # ------------------------------------------------------------------
     def mine(self) -> MiningResult:
@@ -118,54 +236,74 @@ class FrequentSubtreeMiner:
         start = time.perf_counter()
         stats = MiningStats()
 
-        current = self._mine_single_edges()
-        threshold = self._support(1)
-        # Canonical-key order throughout: every level's pattern dict is
-        # sorted, so feature ids and reports never depend on discovery order.
-        current = {k: p for k, p in sorted(current.items()) if p.support >= threshold}
-        all_frequent: Dict[str, MinedPattern] = dict(current)
-        stats.patterns_per_level[1] = len(current)
-
-        size = 1
-        while current and size < self._support.max_size:
-            size += 1
-            threshold = self._support(size)
-            candidates = self._extend_level(current)
-            stats.candidates_per_level[size] = len(candidates)
+        pool: Optional[ProcessPoolExecutor] = None
+        if self._workers > 1 and len(self._db) > 1:
+            pool = ProcessPoolExecutor(max_workers=self._workers)
+        try:
+            current = self._mine_single_edges(pool)
+            threshold = self._support(1)
+            # Canonical-key order throughout: every level's pattern dict is
+            # sorted, so feature ids and reports never depend on discovery
+            # order.
             current = {
-                key: pat
-                for key, pat in sorted(candidates.items())
-                if pat.support >= threshold
+                k: p for k, p in sorted(current.items()) if p.support >= threshold
             }
-            stats.patterns_per_level[size] = len(current)
-            all_frequent.update(current)
+            all_frequent: Dict[str, MinedPattern] = dict(current)
+            stats.patterns_per_level[1] = len(current)
+
+            size = 1
+            while current and size < self._support.max_size:
+                size += 1
+                threshold = self._support(size)
+                candidates = self._extend_level(current, pool)
+                stats.candidates_per_level[size] = len(candidates)
+                current = {
+                    key: pat
+                    for key, pat in sorted(candidates.items())
+                    if pat.support >= threshold
+                }
+                stats.patterns_per_level[size] = len(current)
+                all_frequent.update(current)
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         stats.elapsed_seconds = time.perf_counter() - start
         return MiningResult(patterns=all_frequent, stats=stats)
 
     # ------------------------------------------------------------------
-    def _mine_single_edges(self) -> Dict[str, MinedPattern]:
+    def _graphs_sorted(self) -> List[LabeledGraph]:
+        return [self._db[gid] for gid in self._db.graph_ids()]
+
+    def _mine_single_edges(
+        self, pool: Optional[ProcessPoolExecutor]
+    ) -> Dict[str, MinedPattern]:
         """Level 1: every distinct labeled edge, with all its occurrences."""
+        chunks = _chunk(self._graphs_sorted(), self._workers)
+        if pool is None:
+            chunk_results = [_single_edges_chunk(c) for c in chunks]
+        else:
+            chunk_results = list(pool.map(_single_edges_chunk, chunks))
+
+        sites_by_gid: Dict[int, SingleEdgeSites] = {}
+        for chunk_result in chunk_results:
+            for gid, sites in chunk_result:
+                sites_by_gid[gid] = sites
+
         patterns: Dict[str, MinedPattern] = {}
-        for graph in self._db:
-            gid = graph.graph_id
-            for u, v, elabel in graph.edges():
-                lu, lv = graph.vertex_label(u), graph.vertex_label(v)
-                # Deterministic representative orientation via repr order.
-                if repr(lu) <= repr(lv):
-                    labels, oriented = (lu, lv), [(u, v)]
-                else:
-                    labels, oriented = (lv, lu), [(v, u)]
-                if lu == lv:
-                    oriented = [(u, v), (v, u)]
-                tree = LabeledGraph(labels, [(0, 1, elabel)])
-                key = tree_canonical_string(tree)
+        for gid in sorted(sites_by_gid):
+            for key, (labels, elabel, embeddings) in sorted(
+                sites_by_gid[gid].items()
+            ):
                 pattern = patterns.get(key)
                 if pattern is None:
+                    # The representative is derived from the labels alone,
+                    # so every graph producing this key builds the same one.
+                    tree = LabeledGraph(labels, [(0, 1, elabel)])
                     pattern = MinedPattern(tree, key)
                     patterns[key] = pattern
-                for a, b in oriented:
-                    self._store(pattern, gid, (a, b))
+                for emb in sorted(embeddings):
+                    self._store(pattern, gid, emb)
         return patterns
 
     def _store(self, pattern: MinedPattern, gid: int, embedding: Embedding) -> None:
@@ -177,52 +315,87 @@ class FrequentSubtreeMiner:
 
     # ------------------------------------------------------------------
     def _extend_level(
-        self, current: Dict[str, MinedPattern]
+        self,
+        current: Dict[str, MinedPattern],
+        pool: Optional[ProcessPoolExecutor],
     ) -> Dict[str, MinedPattern]:
         """Grow every pattern of the current level by one edge."""
+        # Phase 1: per-graph extension sites, optionally fanned out.
+        work: List[Tuple[LabeledGraph, Dict[str, List[Embedding]]]] = []
+        for graph in self._graphs_sorted():
+            gid = graph.graph_id
+            embeddings_by_key: Dict[str, List[Embedding]] = {}
+            for key, pattern in sorted(current.items()):
+                bucket = pattern.embeddings.get(gid)
+                if bucket:
+                    embeddings_by_key[key] = sorted(bucket)
+            if embeddings_by_key:
+                work.append((graph, embeddings_by_key))
+
+        chunks = _chunk(work, self._workers)
+        if pool is None:
+            chunk_results = [_extension_sites_chunk(c) for c in chunks]
+        else:
+            chunk_results = list(pool.map(_extension_sites_chunk, chunks))
+
+        sites_by_gid: Dict[int, ExtensionSites] = {}
+        for chunk_result in chunk_results:
+            for gid, sites in chunk_result:
+                sites_by_gid[gid] = sites
+
+        # Phase 2: canonical-order merge (independent of worker count).
+        return self._merge_level(current, sites_by_gid)
+
+    def _merge_level(
+        self,
+        current: Dict[str, MinedPattern],
+        sites_by_gid: Dict[int, ExtensionSites],
+    ) -> Dict[str, MinedPattern]:
+        """Fold per-graph extension sites into candidate patterns.
+
+        Iteration is fully sorted — parent pattern key, then descriptor,
+        then graph id, then embedding — so the representative of each
+        candidate isomorphism class, the translation onto it, and the
+        stored embedding sets are a function of the sites alone.
+        """
+        ordered_gids = sorted(sites_by_gid)
         candidates: Dict[str, MinedPattern] = {}
-        for _, pattern in sorted(current.items()):
-            # (descriptor) -> (candidate key, translation to representative)
-            ext_cache: Dict[Descriptor, Tuple[str, Optional[Dict[int, int]]]] = {}
-            for gid, embeddings in sorted(pattern.embeddings.items()):
-                graph = self._db[gid]
-                for emb in sorted(embeddings):
-                    image = set(emb)
-                    for pv, gv in enumerate(emb):
-                        for w, elabel in graph.neighbor_items(gv):
-                            if w in image:
-                                continue
-                            descriptor: Descriptor = (
-                                pv,
-                                elabel,
-                                graph.vertex_label(w),
-                            )
-                            key, translation = self._resolve_extension(
-                                pattern, descriptor, ext_cache, candidates
-                            )
-                            new_emb: Embedding = emb + (w,)
-                            if translation is not None:
-                                new_emb = translate_embedding(new_emb, translation)
-                            self._store(candidates[key], gid, new_emb)
+        for parent_key, pattern in sorted(current.items()):
+            descriptors: Set[Descriptor] = set()
+            for gid in ordered_gids:
+                per_descriptor = sites_by_gid[gid].get(parent_key)
+                if per_descriptor:
+                    descriptors.update(per_descriptor)
+            for descriptor in sorted(descriptors, key=_descriptor_sort_key):
+                key, translation, representative = self._resolve_extension(
+                    pattern, descriptor, candidates
+                )
+                for gid in ordered_gids:
+                    per_descriptor = sites_by_gid[gid].get(parent_key)
+                    if not per_descriptor:
+                        continue
+                    raw = per_descriptor.get(descriptor)
+                    if not raw:
+                        continue
+                    for emb in sorted(raw):
+                        if translation is not None:
+                            emb = translate_embedding(emb, translation)
+                        self._store(representative, gid, emb)
         return candidates
 
     def _resolve_extension(
         self,
         pattern: MinedPattern,
         descriptor: Descriptor,
-        ext_cache: Dict[Descriptor, Tuple[str, Optional[Dict[int, int]]]],
         candidates: Dict[str, MinedPattern],
-    ) -> Tuple[str, Optional[Dict[int, int]]]:
+    ) -> Tuple[str, Optional[Dict[int, int]], MinedPattern]:
         """Map an extension descriptor to its canonical candidate pattern.
 
-        The first time a descriptor is seen, the candidate tree is built and
-        either becomes the representative of a new isomorphism class or is
-        aligned (one isomorphism computation) onto the existing one.
+        The candidate tree is built in "parent + appended vertex"
+        coordinates; the first (in canonical order) descriptor to produce a
+        key becomes the representative of the isomorphism class, and later
+        descriptors are aligned onto it with one isomorphism computation.
         """
-        cached = ext_cache.get(descriptor)
-        if cached is not None:
-            return cached
-
         anchor, elabel, vlabel = descriptor
         cand = pattern.graph.copy()
         new_vertex = cand.add_vertex(vlabel)
@@ -232,13 +405,12 @@ class FrequentSubtreeMiner:
         representative = candidates.get(key)
         translation: Optional[Dict[int, int]] = None
         if representative is None:
-            candidates[key] = MinedPattern(cand, key)
+            representative = MinedPattern(cand, key)
+            candidates[key] = representative
         else:
             translation = next(
                 subgraph_monomorphisms(cand, representative.graph, limit=1)
             )
             if all(translation[v] == v for v in translation):
                 translation = None
-        result = (key, translation)
-        ext_cache[descriptor] = result
-        return result
+        return key, translation, representative

@@ -1,0 +1,224 @@
+"""Unit tests for :class:`repro.core.engine.QueryEngine`.
+
+Answer correctness is locked down by the differential suite; these tests
+pin the serving-layer semantics — cache hits/misses/eviction, generation
+invalidation on maintenance, batch deduplication, and counter arithmetic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import QueryEngine, TreePiConfig, TreePiIndex, query_cache_key
+from repro.datasets import extract_query_workload, generate_aids_like
+from repro.exceptions import IndexError_
+from repro.graphs import LabeledGraph
+from repro.mining import SupportFunction
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_aids_like(20, avg_atoms=12, seed=11)
+
+
+@pytest.fixture(scope="module")
+def queries(db):
+    return list(extract_query_workload(db, 4, 6, seed=3))
+
+
+def build_index(db):
+    return TreePiIndex.build(
+        db, TreePiConfig(SupportFunction(alpha=2, beta=2.0, eta=4), seed=5)
+    )
+
+
+@pytest.fixture
+def engine(db):
+    return QueryEngine(build_index(db), cache_size=8)
+
+
+# ----------------------------------------------------------------------
+# cache keys
+# ----------------------------------------------------------------------
+def test_cache_key_isomorphic_trees_collide():
+    path = LabeledGraph(["a", "b", "c"], [(0, 1, 1), (1, 2, 2)])
+    relabeled = LabeledGraph(["c", "b", "a"], [(0, 1, 2), (1, 2, 1)])
+    assert query_cache_key(path).startswith("t:")
+    assert query_cache_key(path) == query_cache_key(relabeled)
+
+
+def test_cache_key_cyclic_uses_graph_namespace(triangle):
+    key = query_cache_key(triangle)
+    assert key.startswith("g:")
+    rotated = LabeledGraph(["N", "C", "C"], [(0, 1, 1), (1, 2, 1), (2, 0, 2)])
+    assert query_cache_key(rotated) == key
+
+
+def test_cache_key_tree_vs_cycle_never_collide():
+    tree = LabeledGraph(["a", "a"], [(0, 1, 1)])
+    assert query_cache_key(tree).startswith("t:")
+
+
+# ----------------------------------------------------------------------
+# construction validation
+# ----------------------------------------------------------------------
+def test_rejects_negative_cache_size(engine):
+    with pytest.raises(IndexError_):
+        QueryEngine(engine.index, cache_size=-1)
+
+
+def test_rejects_zero_verify_workers(engine):
+    with pytest.raises(IndexError_):
+        QueryEngine(engine.index, verify_workers=0)
+
+
+# ----------------------------------------------------------------------
+# caching
+# ----------------------------------------------------------------------
+def test_cache_hit_returns_same_result(engine, queries):
+    q = queries[0]
+    first = engine.query(q)
+    second = engine.query(q)
+    assert second is first
+    stats = engine.stats
+    assert stats.queries == 2
+    assert stats.cache_hits == 1
+    assert stats.cache_misses == 1
+
+
+def test_isomorphic_queries_share_one_entry(engine, db):
+    q = next(iter(extract_query_workload(db, 3, 1, seed=8)))
+    permuted_order = list(range(q.num_vertices))[::-1]
+    relabeled = LabeledGraph(
+        [q.vertex_label(permuted_order.index(i)) for i in range(q.num_vertices)],
+        [
+            (permuted_order[u], permuted_order[v], lbl)
+            for u, v, lbl in q.edges()
+        ],
+    )
+    engine.query(q)
+    engine.query(relabeled)
+    assert engine.stats.cache_hits == 1
+    assert engine.cached_results == 1
+
+
+def test_lru_eviction(db, queries):
+    engine = QueryEngine(build_index(db), cache_size=2)
+    a, b, c = queries[0], queries[1], queries[2]
+    engine.query(a)
+    engine.query(b)
+    engine.query(c)           # evicts a
+    assert engine.cached_results == 2
+    engine.query(a)
+    assert engine.stats.cache_hits == 0
+    assert engine.stats.cache_misses == 4
+
+
+def test_zero_cache_size_disables_caching(db, queries):
+    engine = QueryEngine(build_index(db), cache_size=0)
+    engine.query(queries[0])
+    engine.query(queries[0])
+    assert engine.cached_results == 0
+    assert engine.stats.cache_hits == 0
+    assert engine.stats.cache_misses == 2
+
+
+def test_results_match_raw_index(engine, queries):
+    for q in queries:
+        assert engine.query(q).matches == engine.index.query(q).matches
+
+
+def test_verify_workers_do_not_change_answers(db, queries):
+    serial = QueryEngine(build_index(db), cache_size=0, verify_workers=1)
+    pooled = QueryEngine(build_index(db), cache_size=0, verify_workers=4)
+    for q in queries:
+        assert serial.query(q).matches == pooled.query(q).matches
+
+
+# ----------------------------------------------------------------------
+# maintenance invalidation
+# ----------------------------------------------------------------------
+def test_insert_invalidates_and_extends_answers(engine, db, queries):
+    q = queries[0]
+    before = engine.query(q)
+    gid = engine.insert(q)          # the query itself is now a member graph
+    assert engine.cached_results == 0
+    after = engine.query(q)
+    assert gid in after.matches
+    assert after.matches - before.matches == frozenset({gid})
+    stats = engine.stats
+    assert stats.inserts == 1
+    assert stats.invalidations == 1
+
+
+def test_delete_invalidates_and_shrinks_answers(engine, queries):
+    q = queries[0]
+    before = engine.query(q)
+    victim = min(before.matches)
+    engine.delete(victim)
+    assert engine.cached_results == 0
+    after = engine.query(q)
+    assert victim not in after.matches
+    assert engine.stats.deletes == 1
+
+
+def test_rebuild_invalidates_and_keeps_counters(engine, queries):
+    engine.query(queries[0])
+    old_index = engine.index
+    engine.rebuild()
+    assert engine.index is not old_index
+    assert engine.cached_results == 0
+    stats = engine.stats
+    assert stats.rebuilds == 1
+    # The counters object survives the swap and stays attached.
+    assert engine.index.stats.engine is not None
+    assert engine.index.stats.engine.rebuilds == 1
+
+
+def test_engine_counters_surface_through_index_stats(engine, queries):
+    engine.query(queries[0])
+    assert engine.index.stats.engine is not None
+    assert engine.index.stats.engine.queries == 1
+
+
+# ----------------------------------------------------------------------
+# batching
+# ----------------------------------------------------------------------
+def test_batch_deduplicates_isomorphic_queries(engine, queries):
+    q = queries[0]
+    results = engine.query_batch([q, q, q, queries[1]])
+    assert len(results) == 4
+    assert results[0].matches == results[1].matches == results[2].matches
+    stats = engine.stats
+    assert stats.batch_queries == 4
+    assert stats.batch_dedup_hits == 2
+    assert stats.cache_misses == 2   # only two distinct pipelines ran
+
+
+def test_batch_serves_cached_entries(engine, queries):
+    q = queries[0]
+    solo = engine.query(q)
+    results = engine.query_batch([q])
+    assert results[0] is solo
+    assert engine.stats.cache_hits == 1
+
+
+def test_batch_matches_sequential_answers(db, queries):
+    batch_engine = QueryEngine(build_index(db), cache_size=0, verify_workers=2)
+    batched = batch_engine.query_batch(queries)
+    for q, result in zip(queries, batched):
+        assert result.matches == batch_engine.index.query(q).matches
+
+
+def test_counter_arithmetic_is_consistent(engine, queries):
+    for q in queries:
+        engine.query(q)
+    for q in queries:
+        engine.query(q)
+    engine.query_batch(queries)
+    stats = engine.stats
+    assert stats.queries == 3 * len(queries)
+    assert (
+        stats.cache_hits + stats.cache_misses + stats.batch_dedup_hits
+        == stats.queries
+    )

@@ -1,0 +1,136 @@
+"""Concurrency stress test for :class:`repro.core.engine.QueryEngine`.
+
+Eight threads hammer one engine — readers replay a query pool while
+mutators interleave inserts and deletes — and the run must end with
+
+* zero exceptions in any thread,
+* no stale cache hits: a mutator that inserts (deletes) a graph and then
+  queries it must observe the mutation immediately, and at quiescence
+  every cached answer must equal a fresh uncached pipeline run,
+* consistent counters: hits + misses + dedup == queries, and the
+  maintenance counters equal the operations actually performed.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.baselines.scan import SequentialScan
+from repro.core import QueryEngine, TreePiConfig, TreePiIndex
+from repro.datasets import extract_query_workload, generate_aids_like
+from repro.mining import SupportFunction
+
+READERS = 6
+MUTATORS = 2
+READER_ROUNDS = 12
+MUTATOR_ROUNDS = 4
+
+
+def build_engine():
+    db = generate_aids_like(14, avg_atoms=11, seed=21)
+    index = TreePiIndex.build(
+        db, TreePiConfig(SupportFunction(alpha=2, beta=2.0, eta=4), seed=5)
+    )
+    pool = list(extract_query_workload(db, 3, 4, seed=6))
+    pool += list(extract_query_workload(db, 5, 4, seed=7))
+    return QueryEngine(index, cache_size=16, verify_workers=2), pool
+
+
+@pytest.mark.slow
+def test_interleaved_query_insert_delete():
+    engine, pool = build_engine()
+    errors = []
+    start = threading.Barrier(READERS + MUTATORS)
+    inserts_done = []
+    deletes_done = []
+    done_lock = threading.Lock()
+
+    def reader(offset):
+        try:
+            start.wait()
+            for i in range(READER_ROUNDS):
+                query = pool[(offset + i) % len(pool)]
+                result = engine.query(query)
+                assert result.matches == frozenset(result.matches)
+        except Exception as exc:  # noqa: REPRO121 - collected and re-raised below
+            errors.append(exc)
+
+    def mutator(offset):
+        """Insert a pool query as a graph, check visibility, then delete it."""
+        try:
+            start.wait()
+            for i in range(MUTATOR_ROUNDS):
+                graph = pool[(offset + 3 * i) % len(pool)]
+                gid = engine.insert(graph)
+                with done_lock:
+                    inserts_done.append(gid)
+                # The insert invalidated the cache, so this query runs a
+                # fresh pipeline and must see the graph we just added.
+                assert gid in engine.query(graph).matches, "stale hit after insert"
+                engine.delete(gid)
+                with done_lock:
+                    deletes_done.append(gid)
+                assert gid not in engine.query(graph).matches, "stale hit after delete"
+        except Exception as exc:  # noqa: REPRO121 - collected and re-raised below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=reader, args=(i,)) for i in range(READERS)
+    ] + [
+        threading.Thread(target=mutator, args=(2 * i,)) for i in range(MUTATORS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors, f"worker threads raised: {errors!r}"
+
+    # Quiescent consistency: every answer (cached or not) matches both a
+    # raw uncached pipeline and the brute-force scan over the final DB.
+    scan = SequentialScan(engine.index.database)
+    for query in pool:
+        served = engine.query(query)
+        assert served.matches == engine.index.query(query).matches
+        assert served.matches == scan.support_set(query)
+
+    stats = engine.stats
+    assert stats.inserts == len(inserts_done) == MUTATORS * MUTATOR_ROUNDS
+    assert stats.deletes == len(deletes_done) == MUTATORS * MUTATOR_ROUNDS
+    assert stats.invalidations == stats.inserts + stats.deletes + stats.rebuilds
+    assert stats.cache_hits + stats.cache_misses + stats.batch_dedup_hits == stats.queries
+    assert stats.queries >= READERS * READER_ROUNDS + 2 * MUTATORS * MUTATOR_ROUNDS
+
+
+def test_short_interleaving_smoke():
+    """A fast, always-on slice of the stress scenario (2 threads)."""
+    engine, pool = build_engine()
+    errors = []
+
+    def reader():
+        try:
+            for i in range(6):
+                engine.query(pool[i % len(pool)])
+        except Exception as exc:  # noqa: REPRO121 - collected and re-raised below
+            errors.append(exc)
+
+    def mutator():
+        try:
+            for i in range(2):
+                graph = pool[i]
+                gid = engine.insert(graph)
+                assert gid in engine.query(graph).matches
+                engine.delete(gid)
+        except Exception as exc:  # noqa: REPRO121 - collected and re-raised below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader), threading.Thread(target=mutator)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors, f"worker threads raised: {errors!r}"
+    stats = engine.stats
+    assert stats.cache_hits + stats.cache_misses + stats.batch_dedup_hits == stats.queries

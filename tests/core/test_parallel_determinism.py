@@ -1,0 +1,82 @@
+"""Parallel construction determinism: workers must never change the index.
+
+The acceptance bar for ``TreePiConfig(workers=N)`` is *byte identity*:
+after stripping the two wall-clock timing fields, the serialized JSON of
+a build is the same string for every worker count.  Anything weaker
+(e.g. "same feature set, different embedding representatives") would let
+nondeterministic merge order leak into persisted indexes and query
+plans.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import TreePiConfig, TreePiIndex
+from repro.datasets import generate_aids_like, synthetic_database
+from repro.mining import SupportFunction
+from repro.persistence import index_to_json
+
+
+def build_fingerprint(db, workers: int) -> str:
+    config = TreePiConfig(
+        SupportFunction(alpha=2, beta=2.0, eta=4), seed=5, workers=workers
+    )
+    doc = index_to_json(TreePiIndex.build(db, config))
+    doc["stats"]["build_seconds"] = 0.0
+    doc["stats"]["mining"]["elapsed_seconds"] = 0.0
+    return json.dumps(doc, sort_keys=True)
+
+
+def test_workers_excluded_from_persistence(chem_db):
+    """``workers`` is a runtime knob, not part of the index's identity."""
+    config = TreePiConfig(
+        SupportFunction(alpha=2, beta=2.0, eta=3), seed=5, workers=2
+    )
+    doc = index_to_json(TreePiIndex.build(chem_db, config))
+    assert "workers" not in doc["config"]
+
+
+def test_build_rejects_bad_worker_count(chem_db):
+    from repro.exceptions import IndexError_
+
+    config = TreePiConfig(
+        SupportFunction(alpha=2, beta=2.0, eta=3), seed=5, workers=0
+    )
+    with pytest.raises(IndexError_):
+        TreePiIndex.build(chem_db, config)
+
+
+def test_reduced_determinism_chemical():
+    """Fast CI gate: workers 1 vs 2 on a small chemical database."""
+    db = generate_aids_like(12, avg_atoms=11, seed=31)
+    assert build_fingerprint(db, 1) == build_fingerprint(db, 2)
+
+
+@pytest.mark.slow
+def test_full_determinism_chemical():
+    db = generate_aids_like(25, avg_atoms=13, seed=33)
+    reference = build_fingerprint(db, 1)
+    for workers in (2, 4):
+        assert build_fingerprint(db, workers) == reference, (
+            f"workers={workers} build is not byte-identical"
+        )
+
+
+@pytest.mark.slow
+def test_full_determinism_synthetic():
+    db = synthetic_database(
+        20,
+        avg_seed_edges=4,
+        avg_graph_edges=10,
+        num_seeds=10,
+        num_vertex_labels=4,
+        seed=35,
+    )
+    reference = build_fingerprint(db, 1)
+    for workers in (2, 4):
+        assert build_fingerprint(db, workers) == reference, (
+            f"workers={workers} build is not byte-identical"
+        )

@@ -1,0 +1,1 @@
+"""Differential testing: every engine must return the same answer set."""
