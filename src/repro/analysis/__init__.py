@@ -34,7 +34,22 @@ from repro.analysis.contracts import (
     disable_contracts,
     enable_contracts,
 )
-from repro.analysis.engine import LintReport, lint_file, lint_paths, lint_source
+from repro.analysis.engine import (
+    LintReport,
+    lint_file,
+    lint_paths,
+    lint_source,
+    lint_source_full,
+)
+from repro.analysis.guards import (
+    TrackedLock,
+    guarded_by,
+    lock_is_held,
+    lock_order_edges,
+    note_acquire,
+    note_release,
+    reset_lock_order,
+)
 from repro.analysis.rules import Rule, all_rules, rule_catalog
 from repro.analysis.violations import Violation
 
@@ -42,14 +57,22 @@ __all__ = [
     "ContractViolation",
     "LintReport",
     "Rule",
+    "TrackedLock",
     "Violation",
     "all_rules",
     "contract_scope",
     "contracts_enabled",
     "disable_contracts",
     "enable_contracts",
+    "guarded_by",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_source_full",
+    "lock_is_held",
+    "lock_order_edges",
+    "note_acquire",
+    "note_release",
+    "reset_lock_order",
     "rule_catalog",
 ]

@@ -34,9 +34,14 @@ def _build_parser() -> argparse.ArgumentParser:
     lint = sub.add_parser("lint", help="run the lint rules over paths")
     lint.add_argument("paths", nargs="+", help="files or directories to lint")
     lint.add_argument(
-        "--select", help="comma-separated rule ids to run exclusively"
+        "--select",
+        help="comma-separated rule ids or family prefixes (REPRO2 = "
+        "every REPRO2xx rule) to run exclusively",
     )
-    lint.add_argument("--ignore", help="comma-separated rule ids to skip")
+    lint.add_argument(
+        "--ignore",
+        help="comma-separated rule ids or family prefixes to skip",
+    )
     lint.add_argument(
         "--format", choices=("text", "json"), default="text", dest="fmt"
     )
@@ -62,8 +67,12 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "lint":
         select, ignore = _split(args.select), _split(args.ignore)
-        known = set(REGISTRY) | {PARSE_ERROR_RULE}
-        unknown = [r for r in (select or []) + (ignore or []) if r not in known]
+        known = sorted(set(REGISTRY) | {PARSE_ERROR_RULE})
+        unknown = [
+            r
+            for r in (select or []) + (ignore or [])
+            if not any(rule_id == r or rule_id.startswith(r) for rule_id in known)
+        ]
         if unknown:
             print(
                 f"error: unknown rule id(s) {', '.join(unknown)} "

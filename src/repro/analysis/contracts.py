@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 import random
+import threading
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Callable, Dict, Iterator, List, Sequence, Tuple
 
@@ -55,17 +56,28 @@ def _env_enabled() -> bool:
     )
 
 
-_state: Dict[str, bool] = {"enabled": _env_enabled(), "checking": False}
+_state: Dict[str, bool] = {"enabled": _env_enabled()}
+
+#: Re-entrancy guard for the checks themselves.  Thread-LOCAL on purpose:
+#: a global flag would make contract gating flicker for *other* threads
+#: whenever one thread is inside a check — e.g. a query thread running a
+#: canonical re-check would silently disable lock tracking for a
+#: concurrent mutator, whose later @guarded_by check then fails.
+_local = threading.local()
+
+
+def _thread_checking() -> bool:
+    return getattr(_local, "checking", False)
 
 
 def contracts_enabled() -> bool:
     """True when wired call sites should run their contract checks.
 
-    Returns False while a check is already running: the checks recompute
-    canonical forms through the public (wired) functions, and the guard
-    keeps that from recursing.
+    Returns False while a check is already running on the *calling
+    thread*: the checks recompute canonical forms through the public
+    (wired) functions, and the guard keeps that from recursing.
     """
-    return _state["enabled"] and not _state["checking"]
+    return _state["enabled"] and not _thread_checking()
 
 
 def enable_contracts() -> None:
@@ -89,12 +101,12 @@ def contract_scope(enabled: bool = True) -> Iterator[None]:
 
 @contextmanager
 def _checking() -> Iterator[None]:
-    previous = _state["checking"]
-    _state["checking"] = True
+    previous = _thread_checking()
+    _local.checking = True
     try:
         yield
     finally:
-        _state["checking"] = previous
+        _local.checking = previous
 
 
 # ----------------------------------------------------------------------
@@ -299,4 +311,36 @@ def self_test() -> List[str]:
         sigma = SupportFunction(alpha=2, beta=1.5, eta=6)
         check_support_monotone(sigma, sigma.max_size)
         lines.append("support monotonicity contract OK (alpha=2 beta=1.5 eta=6)")
+        lines.append(_lock_order_self_test())
     return lines
+
+
+def _lock_order_self_test() -> str:
+    """Demonstrate the lock-order tracker on a deliberate inversion.
+
+    Acquires two tracked locks A→B, then B→A, and confirms the inverted
+    acquisition raises *before* it could deadlock.  Runs inside
+    :func:`self_test`'s contract scope; clears the demo edges afterwards.
+    """
+    # Local import: guards imports this module, so the dependency must
+    # stay one-way at import time.
+    from repro.analysis.guards import TrackedLock, reset_lock_order
+
+    a = TrackedLock("self_test.A")
+    b = TrackedLock("self_test.B")
+    try:
+        with a:
+            with b:
+                pass
+        try:
+            with b:
+                with a:
+                    pass
+        except ContractViolation:
+            return "lock-order contract OK (A->B then B->A inversion caught)"
+        raise ContractViolation(
+            "lock-order contract: inverted acquisition B->A after A->B "
+            "was not detected"
+        )
+    finally:
+        reset_lock_order()

@@ -18,8 +18,9 @@ import ast
 import re
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+import repro.analysis.concurrency  # noqa: F401 - registers the REPRO2xx rule family
 from repro.analysis.rules import FileContext, rules_for
 from repro.analysis.violations import Violation
 
@@ -34,11 +35,20 @@ PARSE_ERROR_RULE = "REPRO001"
 
 @dataclass
 class LintReport:
-    """Outcome of one lint run."""
+    """Outcome of one lint run.
+
+    ``suppressed_violations`` keeps the hits silenced by ``noqa`` so the
+    JSON report (a CI artifact) can audit what was waived, not just what
+    failed.
+    """
 
     violations: List[Violation] = field(default_factory=list)
     files_checked: int = 0
-    suppressed: int = 0
+    suppressed_violations: List[Violation] = field(default_factory=list)
+
+    @property
+    def suppressed(self) -> int:
+        return len(self.suppressed_violations)
 
     @property
     def ok(self) -> bool:
@@ -62,30 +72,33 @@ def _suppressed_codes(line: str) -> Optional[frozenset]:
     return frozenset(c.strip().upper() for c in codes.lstrip(" :").split(","))
 
 
-def lint_source(
+def lint_source_full(
     source: str,
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
-) -> List[Violation]:
-    """Lint one source string as if it lived at ``path``.
+) -> Tuple[List[Violation], List[Violation]]:
+    """Lint one source string; returns ``(kept, noqa_suppressed)`` lists.
 
     ``path`` matters: several rules scope themselves by module location
     (e.g. REPRO101 only fires inside order-sensitive packages, REPRO122
-    exempts the CLI).  Returns violations sorted by location.
+    exempts the CLI).  Both lists are sorted by location.
     """
     try:
         tree = ast.parse(source)
     except SyntaxError as exc:
-        return [
-            Violation(
-                path=path,
-                line=exc.lineno or 0,
-                col=(exc.offset or 0),
-                rule_id=PARSE_ERROR_RULE,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        return (
+            [
+                Violation(
+                    path=path,
+                    line=exc.lineno or 0,
+                    col=(exc.offset or 0),
+                    rule_id=PARSE_ERROR_RULE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            ],
+            [],
+        )
     ctx = FileContext(path, source, tree)
     raw: List[Violation] = []
     for rule in rules_for(ctx, select=select, ignore=ignore):
@@ -93,13 +106,26 @@ def lint_source(
 
     lines = source.splitlines()
     kept: List[Violation] = []
+    suppressed: List[Violation] = []
     for violation in raw:
         line_text = lines[violation.line - 1] if 0 < violation.line <= len(lines) else ""
         codes = _suppressed_codes(line_text)
         if codes is not None and (not codes or violation.rule_id in codes):
+            suppressed.append(violation)
             continue
         kept.append(violation)
-    return sorted(kept)
+    return sorted(kept), sorted(suppressed)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Violation]:
+    """Lint one source string, returning only the unsuppressed violations."""
+    kept, _ = lint_source_full(source, path, select=select, ignore=ignore)
+    return kept
 
 
 def lint_file(
@@ -138,6 +164,14 @@ def lint_paths(
     ignore = list(ignore) if ignore else None
     for f in iter_python_files(paths):
         report.files_checked += 1
-        report.violations.extend(lint_file(f, select=select, ignore=ignore))
+        kept, suppressed = lint_source_full(
+            Path(f).read_text(encoding="utf-8"),
+            str(f),
+            select=select,
+            ignore=ignore,
+        )
+        report.violations.extend(kept)
+        report.suppressed_violations.extend(suppressed)
     report.violations.sort()
+    report.suppressed_violations.sort()
     return report

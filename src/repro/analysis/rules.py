@@ -506,16 +506,29 @@ class IndexGraphMutation(Rule):
         return False
 
 
+def matches_rule_patterns(rule_id: str, patterns: Iterable[str]) -> bool:
+    """True when ``rule_id`` matches any id *or prefix* in ``patterns``.
+
+    Prefix matching lets CI select a whole family (``--select REPRO2``
+    runs REPRO201..REPRO204) without enumerating members.
+    """
+    return any(rule_id == p or rule_id.startswith(p) for p in patterns)
+
+
 def rules_for(ctx: FileContext, select: Optional[Iterable[str]] = None,
               ignore: Optional[Iterable[str]] = None) -> List[Rule]:
-    """Instantiate every applicable rule for one file."""
-    selected = set(select) if select else None
-    ignored = set(ignore) if ignore else set()
+    """Instantiate every applicable rule for one file.
+
+    ``select``/``ignore`` entries are exact rule ids or family prefixes
+    (``REPRO2`` matches every REPRO2xx rule).
+    """
+    selected = list(select) if select else None
+    ignored = list(ignore) if ignore else []
     out: List[Rule] = []
     for cls in all_rules():
-        if selected is not None and cls.rule_id not in selected:
+        if selected is not None and not matches_rule_patterns(cls.rule_id, selected):
             continue
-        if cls.rule_id in ignored:
+        if matches_rule_patterns(cls.rule_id, ignored):
             continue
         if cls.applies_to(ctx):
             out.append(cls(ctx))

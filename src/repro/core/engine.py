@@ -38,6 +38,7 @@ from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.guards import TrackedLock, guarded_by, note_acquire, note_release
 from repro.core.statistics import EngineStats, QueryResult
 from repro.core.treepi import QueryPlan, TreePiIndex
 from repro.core.verification import VerificationStats
@@ -64,9 +65,15 @@ class _ReadWriteLock:
     Queries hold the read side for their full pipeline so maintenance can
     never observe (or cause) a half-executed query; waiting writers block
     new readers, so a stream of queries cannot starve maintenance.
+
+    Acquisitions report to the :mod:`repro.analysis.guards` lock-order
+    tracker (active only under ``REPRO_CONTRACTS=1``) *before* blocking,
+    so an ordering cycle raises instead of deadlocking; the internal
+    condition variable is deliberately untracked meta-state.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, name: str = "_ReadWriteLock") -> None:
+        self.name = name
         self._cond = threading.Condition()
         self._readers = 0
         self._writer_active = False
@@ -74,6 +81,7 @@ class _ReadWriteLock:
 
     @contextmanager
     def read_locked(self) -> Iterator[None]:
+        note_acquire(self, self.name, "read")
         with self._cond:
             while self._writer_active or self._writers_waiting:
                 self._cond.wait()
@@ -85,9 +93,11 @@ class _ReadWriteLock:
                 self._readers -= 1
                 if self._readers == 0:
                     self._cond.notify_all()
+            note_release(self)
 
     @contextmanager
     def write_locked(self) -> Iterator[None]:
+        note_acquire(self, self.name, "write")
         with self._cond:
             self._writers_waiting += 1
             while self._writer_active or self._readers:
@@ -100,6 +110,7 @@ class _ReadWriteLock:
             with self._cond:
                 self._writer_active = False
                 self._cond.notify_all()
+            note_release(self)
 
 
 class _LRUCache:
@@ -165,23 +176,34 @@ class QueryEngine:
             )
         self._index = index
         self._verify_workers = verify_workers
-        self._rw = _ReadWriteLock()
-        self._mutex = threading.Lock()
+        # Lock order is _rw -> _mutex (never the reverse); the guards
+        # tracker verifies that discipline under REPRO_CONTRACTS=1.
+        self._rw = _ReadWriteLock("QueryEngine._rw")
+        self._mutex = TrackedLock("QueryEngine._mutex")
         self._cache = _LRUCache(cache_size)
         self._generation = 0
         self._counters = EngineStats()
         index.stats.engine = self._counters
+        index.attach_serving_lock(self._rw)
 
     # ------------------------------------------------------------------
     # accessors
     # ------------------------------------------------------------------
     @property
     def index(self) -> TreePiIndex:
-        return self._index
+        """The currently served index (``rebuild`` swaps it atomically).
+
+        The reference is read under the read lock; holding the *returned*
+        index across maintenance is the caller's explicit decision.
+        """
+        with self._rw.read_locked():
+            index = self._index
+        return index
 
     @property
     def cache_size(self) -> int:
-        return self._cache.capacity
+        with self._mutex:
+            return self._cache.capacity
 
     @property
     def cached_results(self) -> int:
@@ -263,15 +285,36 @@ class QueryEngine:
             self._invalidate("deletes")
 
     def rebuild(self) -> None:
-        """Reconstruct the index from the current database state in place."""
-        with self._rw.write_locked():
-            rebuilt = self._index.rebuild()
-            rebuilt.stats.engine = self._counters
-            self._index = rebuilt
-            self._invalidate("rebuilds")
+        """Reconstruct the index from the current database state in place.
+
+        The expensive build (mining + feature materialization, possibly a
+        process pool) runs under the *read* lock, concurrently with
+        queries — holding the writer lock across it would stall every
+        reader for the whole build (REPRO202).  The writer lock is taken
+        only for the swap; if maintenance raced the build (generation
+        moved), the stale build is discarded and retried against the new
+        database state.
+        """
+        while True:
+            with self._mutex:
+                observed = self._generation
+            with self._rw.read_locked():
+                rebuilt = self._index.rebuild()
+            with self._rw.write_locked():
+                with self._mutex:
+                    raced = self._generation != observed
+                if raced:
+                    continue
+                with self._mutex:
+                    rebuilt.stats.engine = self._counters
+                rebuilt.attach_serving_lock(self._rw)
+                self._index = rebuilt
+                self._invalidate("rebuilds")
+                return
 
     def needs_rebuild(self) -> bool:
-        return self._index.needs_rebuild()
+        with self._rw.read_locked():
+            return self._index.needs_rebuild()
 
     # ------------------------------------------------------------------
     # internals
@@ -320,6 +363,7 @@ class QueryEngine:
             )
             self._counters.verifications_run += len(plan.survivors)
 
+    @guarded_by("_rw", mode="read")
     def _execute(self, query: LabeledGraph) -> QueryResult:
         """Run one full pipeline (caller holds the read lock)."""
         plan = self._index.plan(query)
@@ -340,6 +384,7 @@ class QueryEngine:
             plan, matches, vstats, time.perf_counter() - start
         )
 
+    @guarded_by("_rw", mode="read")
     def _execute_batch(
         self, queries: Sequence[LabeledGraph]
     ) -> List[QueryResult]:
@@ -366,6 +411,7 @@ class QueryEngine:
                 open_index += 1
         return results
 
+    @guarded_by("_rw", mode="read")
     def _verify_parallel(
         self, plans: List[QueryPlan], vstats: VerificationStats
     ) -> List[FrozenSet[int]]:

@@ -18,11 +18,15 @@ from repro.mining.subtree_miner import MiningStats
 class EngineStats:
     """Per-stage runtime counters of one :class:`repro.core.engine.QueryEngine`.
 
-    Mutated only under the engine's internal lock; read a consistent copy
-    through :meth:`snapshot` (or ``QueryEngine.stats``).  Attached to the
-    wrapped index's :class:`IndexStats` as ``stats.engine`` so the same
-    record that describes the build also surfaces query-serving behavior;
-    it is runtime-only state and is never persisted.
+    Shared mutable state guarded by the engine's ``_mutex`` — every
+    increment (and every read of the live record, aliasing through
+    ``stats.engine`` included) happens under that lock; the REPRO201
+    lint rule and the PR-3 audit hold the engine to exactly that.  Read
+    a consistent copy through :meth:`snapshot` (or ``QueryEngine.stats``).
+    Attached to the wrapped index's :class:`IndexStats` as
+    ``stats.engine`` so the same record that describes the build also
+    surfaces query-serving behavior; it is runtime-only state and is
+    never persisted.
     """
 
     queries: int = 0                 # every query() / query_batch() member

@@ -22,6 +22,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.guards import guarded_by
 from repro.core.center_prune import CenterConstraintProblem, center_prune
 from repro.core.feature import FeatureTree
 from repro.core.filtering import filter_candidates
@@ -204,6 +205,10 @@ class TreePiIndex:
         # Per-graph BFS distance oracles, shared across queries (graphs are
         # treated as immutable once indexed; maintenance invalidates).
         self._oracles: Dict[int, "DistanceOracle"] = {}
+        # Set by QueryEngine.attach_serving_lock: once an engine serves
+        # this index, direct maintenance calls must hold its write lock
+        # (enforced by @guarded_by under REPRO_CONTRACTS=1).
+        self._serving_lock: Optional[object] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -473,6 +478,18 @@ class TreePiIndex:
     # ------------------------------------------------------------------
     # maintenance (Section 7.1)
     # ------------------------------------------------------------------
+    def attach_serving_lock(self, lock: object) -> None:
+        """Declare that ``lock`` (an engine's RW lock) now guards this index.
+
+        A standalone index is single-owner and unchecked; once served by
+        a :class:`~repro.core.engine.QueryEngine`, the ``@guarded_by``
+        contracts on :meth:`insert`/:meth:`delete` require the engine's
+        write lock, so maintenance that bypasses the engine (and its
+        cache invalidation) fails fast under ``REPRO_CONTRACTS=1``.
+        """
+        self._serving_lock = lock
+
+    @guarded_by("_serving_lock", mode="write")
     def insert(self, graph: LabeledGraph) -> int:
         """Add a graph: update support sets and center positions in place.
 
@@ -524,6 +541,7 @@ class TreePiIndex:
         self._churn += 1
         return gid
 
+    @guarded_by("_serving_lock", mode="write")
     def delete(self, graph_id: int) -> None:
         """Remove a graph and purge its entries from every feature."""
         self._db.remove(graph_id)

@@ -163,5 +163,6 @@ def test_support_constructor_checks_under_contracts():
 # ----------------------------------------------------------------------
 def test_self_test_passes():
     lines = self_test()
-    assert len(lines) == 3
+    assert len(lines) == 4
     assert all("OK" in line for line in lines)
+    assert any("lock-order" in line for line in lines)

@@ -1,0 +1,229 @@
+"""Runtime half of the concurrency contracts: @guarded_by and lock order.
+
+Every test runs inside ``contract_scope()`` (the checks are no-ops when
+contracts are off — that is itself asserted) and resets the process-wide
+acquisition graph around itself for isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import (
+    ContractViolation,
+    TrackedLock,
+    contract_scope,
+    guarded_by,
+    lock_is_held,
+    lock_order_edges,
+    reset_lock_order,
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_lock_order():
+    reset_lock_order()
+    yield
+    reset_lock_order()
+
+
+class Counter:
+    """Minimal guarded class in the QueryEngine mold."""
+
+    def __init__(self):
+        self._lock = TrackedLock("Counter._lock")
+        self.value = 0
+
+    @guarded_by("_lock")
+    def bump(self):
+        self.value += 1
+
+    def bump_safely(self):
+        with self._lock:
+            self.bump()
+
+
+# ----------------------------------------------------------------------
+# @guarded_by enforcement
+# ----------------------------------------------------------------------
+def test_guarded_method_without_lock_raises():
+    counter = Counter()
+    with contract_scope():
+        with pytest.raises(ContractViolation, match="_lock"):
+            counter.bump()
+    assert counter.value == 0
+
+
+def test_guarded_method_with_lock_passes():
+    counter = Counter()
+    with contract_scope():
+        counter.bump_safely()
+    assert counter.value == 1
+
+
+def test_guarded_method_unchecked_when_contracts_off():
+    counter = Counter()
+    with contract_scope(enabled=False):  # robust under REPRO_CONTRACTS=1 runs
+        counter.bump()  # no lock, no contracts: plain call
+    assert counter.value == 1
+
+
+def test_guarded_method_skipped_when_lock_attr_is_none():
+    class Standalone:
+        def __init__(self):
+            self._serving_lock = None
+            self.calls = 0
+
+        @guarded_by("_serving_lock", mode="write")
+        def mutate(self):
+            self.calls += 1
+
+    obj = Standalone()
+    with contract_scope():
+        obj.mutate()  # attribute present but None -> standalone usage
+    assert obj.calls == 1
+
+
+def test_guarded_by_records_declaration_metadata():
+    assert Counter.bump.__guarded_by__ == ("_lock", "exclusive")
+
+
+def test_guarded_by_rejects_unknown_mode():
+    with pytest.raises(ValueError, match="mode"):
+        guarded_by("_lock", mode="sideways")
+
+
+def test_lock_is_held_reflects_scope():
+    lock = TrackedLock("test.lock_is_held")
+    with contract_scope():
+        assert not lock_is_held(lock)
+        with lock:
+            assert lock_is_held(lock)
+        assert not lock_is_held(lock)
+
+
+# ----------------------------------------------------------------------
+# lock-order tracking
+# ----------------------------------------------------------------------
+def test_inverted_acquisition_order_raises():
+    a = TrackedLock("test.A")
+    b = TrackedLock("test.B")
+    with contract_scope():
+        with a:
+            with b:
+                pass
+        with b:
+            with pytest.raises(ContractViolation, match="cycle"):
+                with a:
+                    pass
+
+
+def test_consistent_order_never_raises():
+    a = TrackedLock("test.A")
+    b = TrackedLock("test.B")
+    with contract_scope():
+        for _ in range(3):
+            with a:
+                with b:
+                    pass
+
+
+def test_transitive_inversion_raises():
+    a = TrackedLock("test.A")
+    b = TrackedLock("test.B")
+    c = TrackedLock("test.C")
+    with contract_scope():
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with c:
+            with pytest.raises(ContractViolation, match="cycle"):
+                with a:
+                    pass
+
+
+def test_reacquiring_nonreentrant_lock_raises():
+    lock = TrackedLock("test.reentry")
+    with contract_scope():
+        with lock:
+            with pytest.raises(ContractViolation, match="re-acquires"):
+                lock.acquire()
+
+
+def test_edges_record_class_level_discipline():
+    a = TrackedLock("test.A")
+    b = TrackedLock("test.B")
+    with contract_scope():
+        with a:
+            with b:
+                pass
+    assert lock_order_edges() == {"test.A": ("test.B",)}
+    reset_lock_order()
+    assert lock_order_edges() == {}
+
+
+def test_same_name_different_instances_share_discipline():
+    """Order is a *class-level* rule: any A-instance before any B-instance."""
+    a1 = TrackedLock("test.A")
+    a2 = TrackedLock("test.A")
+    b = TrackedLock("test.B")
+    with contract_scope():
+        with a1:
+            with b:
+                pass
+        with b:
+            with pytest.raises(ContractViolation, match="cycle"):
+                with a2:
+                    pass
+
+
+def test_tracking_disabled_outside_contracts():
+    a = TrackedLock("test.A")
+    b = TrackedLock("test.B")
+    with contract_scope(enabled=False):  # robust under REPRO_CONTRACTS=1 runs
+        with a:
+            with b:
+                pass
+        with b:
+            with a:  # would be an inversion, but contracts are off
+                pass
+    assert lock_order_edges() == {}
+
+
+def test_held_stacks_are_per_thread():
+    lock = TrackedLock("test.per_thread")
+    seen = {}
+
+    def probe():
+        seen["other"] = lock_is_held(lock)
+
+    with contract_scope():
+        with lock:
+            worker = threading.Thread(target=probe)
+            worker.start()
+            worker.join()
+            assert lock_is_held(lock)
+    assert seen["other"] is False
+
+
+def test_tracked_lock_still_mutually_excludes():
+    lock = TrackedLock("test.mutex")
+    totals = {"n": 0}
+
+    def work():
+        for _ in range(200):
+            with lock:
+                totals["n"] += 1
+
+    threads = [threading.Thread(target=work) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert totals["n"] == 800
+    assert not lock.locked()

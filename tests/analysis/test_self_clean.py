@@ -64,6 +64,66 @@ def test_cli_lint_exits_nonzero_on_each_rule_fixture(tmp_path):
         bad.unlink()
 
 
+def test_cli_lint_exits_nonzero_on_each_concurrency_fixture(tmp_path):
+    engine_preamble = (
+        "import threading\n\n"
+        "class Engine:\n"
+        "    def __init__(self, pool):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._pool = pool\n"
+        "        self._cache = {}\n"
+        "        self._generation = 0\n\n"
+        "    def invalidate(self):\n"
+        "        with self._lock:\n"
+        "            self._generation += 1\n"
+        "            self._cache.clear()\n\n"
+    )
+    fixtures = {
+        "REPRO201": engine_preamble + (
+            "    def peek(self):\n"
+            "        return self._cache.get(0)\n"
+        ),
+        "REPRO202": engine_preamble + (
+            "    def rebuild(self, builder):\n"
+            "        with self._lock:\n"
+            "            self._cache.update(builder.build())\n"
+        ),
+        "REPRO203": engine_preamble + (
+            "    def dump(self):\n"
+            "        with self._lock:\n"
+            "            return self._cache\n"
+        ),
+        "REPRO204": engine_preamble + (
+            "    def store(self, key, value):\n"
+            "        with self._lock:\n"
+            "            self._cache[key] = value\n"
+        ),
+    }
+    for rule_id, source in fixtures.items():
+        bad = tmp_path / f"bad_{rule_id.lower()}.py"
+        bad.write_text(source)
+        proc = _run_cli("lint", "--select", "REPRO2", str(bad))
+        assert proc.returncode == 1, f"{rule_id}: {proc.stdout}{proc.stderr}"
+        assert rule_id in proc.stdout, f"{rule_id} not reported: {proc.stdout}"
+        bad.unlink()
+
+
+def test_cli_lint_concurrency_family_clean_on_src():
+    """The CI `concurrency-lint` gate: src/ has no REPRO2xx violations."""
+    proc = _run_cli("lint", "--select", "REPRO2", "src/")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK:" in proc.stdout
+
+
+def test_cli_lint_zero_python_files_exits_zero(tmp_path):
+    empty = tmp_path / "no_python_here"
+    empty.mkdir()
+    (empty / "notes.txt").write_text("nothing to lint\n")
+    proc = _run_cli("lint", str(empty))
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "0 files checked" in proc.stdout
+
+
 def test_noqa_comments_are_specific_and_justified():
     """Every suppression in ``src/`` names its rule and explains itself.
 

@@ -17,6 +17,12 @@ import threading
 
 import pytest
 
+from repro.analysis import (
+    ContractViolation,
+    contract_scope,
+    lock_order_edges,
+    reset_lock_order,
+)
 from repro.baselines.scan import SequentialScan
 from repro.core import QueryEngine, TreePiConfig, TreePiIndex
 from repro.datasets import extract_query_workload, generate_aids_like
@@ -134,3 +140,79 @@ def test_short_interleaving_smoke():
     assert not errors, f"worker threads raised: {errors!r}"
     stats = engine.stats
     assert stats.cache_hits + stats.cache_misses + stats.batch_dedup_hits == stats.queries
+
+
+def test_contracts_enabled_interleaving_records_lock_order():
+    """The smoke scenario under REPRO_CONTRACTS: the lock-order tracker
+    vets every engine acquisition and ends up with the documented
+    discipline (``_rw`` before ``_mutex``) and no violations."""
+    engine, pool = build_engine()  # built outside the scope: locks, no checks
+    errors = []
+
+    def reader():
+        try:
+            for i in range(6):
+                engine.query(pool[i % len(pool)])
+        except Exception as exc:  # noqa: REPRO121 - collected and re-raised below
+            errors.append(exc)
+
+    def mutator():
+        try:
+            for i in range(2):
+                graph = pool[i]
+                gid = engine.insert(graph)
+                assert gid in engine.query(graph).matches
+                engine.delete(gid)
+            engine.rebuild()
+        except Exception as exc:  # noqa: REPRO121 - collected and re-raised below
+            errors.append(exc)
+
+    reset_lock_order()
+    try:
+        with contract_scope():
+            threads = [
+                threading.Thread(target=reader),
+                threading.Thread(target=mutator),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            edges = lock_order_edges()
+    finally:
+        reset_lock_order()
+
+    assert not errors, f"worker threads raised under contracts: {errors!r}"
+    assert "QueryEngine._mutex" in edges.get("QueryEngine._rw", ()), (
+        f"expected the engine's _rw -> _mutex acquisition order, got {edges!r}"
+    )
+    # The discipline is acyclic: _mutex never wraps _rw.
+    assert "QueryEngine._rw" not in edges.get("QueryEngine._mutex", ())
+
+
+def test_direct_index_mutation_raises_under_contracts():
+    """``@guarded_by("_serving_lock")`` bites: once an engine serves the
+    index, maintenance must go through the engine (which holds the write
+    lock), not through ``engine.index`` directly."""
+    engine, pool = build_engine()
+    baseline = len(engine.index.database)
+    with contract_scope():
+        with pytest.raises(ContractViolation, match="_serving_lock"):
+            engine.index.insert(pool[0])
+        assert len(engine.index.database) == baseline  # nothing mutated
+        gid = engine.insert(pool[0])  # engine-routed: write lock held, passes
+        assert gid in engine.query(pool[0]).matches
+        engine.delete(gid)
+
+
+def test_standalone_index_mutation_unchecked_under_contracts():
+    """An index no engine ever served keeps its lock-free maintenance API."""
+    db = generate_aids_like(6, avg_atoms=9, seed=31)
+    index = TreePiIndex.build(
+        db, TreePiConfig(SupportFunction(alpha=2, beta=2.0, eta=4), seed=5)
+    )
+    query = next(iter(extract_query_workload(db, 3, 1, seed=8)))
+    with contract_scope():
+        gid = index.insert(query)
+        assert gid in index.query(query).matches
+        index.delete(gid)
