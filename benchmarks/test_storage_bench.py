@@ -1,0 +1,177 @@
+"""Storage layer micro-bench: set-based vs posting-list intersection.
+
+Reproduces the old ``filter_candidates`` inner loop — ``P_q ← D`` as a
+``set`` copy, then smallest-first ``&= feature.support_set()`` where
+``support_set()`` materialized ``frozenset(self.locations)`` from the
+dict-of-frozensets store on *every* step — against the new
+:meth:`PostingList.intersect_many` seeding from the smallest support,
+over synthetic support corpora of varying skew plus the feature supports
+of a real built index.  Also records the resident bytes of the
+occurrence tables before (dict-of-frozensets) and after (columnar
+:class:`OccurrenceStore`) for each corpus.
+
+Emits ``bench_results/storage_intersection.csv`` — the PR's acceptance
+gate requires posting-list intersection at parity or better.
+"""
+
+import random
+import sys
+import time
+
+from conftest import publish
+
+from repro.bench import Table
+from repro.core import TreePiConfig, TreePiIndex
+from repro.datasets import generate_aids_like
+from repro.mining import SupportFunction
+from repro.storage import PostingList
+
+REPEATS = 7
+ROUNDS = 30
+
+
+def set_intersection(universe, support_dicts):
+    """The pre-refactor Algorithm 1 inner loop, replayed faithfully.
+
+    ``support_dicts`` stand in for ``FeatureTree.locations``; the old
+    ``support_set()`` accessor built ``frozenset(self.locations)`` anew
+    on each call, so that materialization is part of the measured cost —
+    exactly as it was on the query hot path.
+    """
+    result = set(universe)
+    for support in sorted(support_dicts, key=len):
+        result &= frozenset(support)
+        if not result:
+            break
+    return result
+
+
+def posting_intersection(postings):
+    return PostingList.intersect_many(postings, early_exit=True)
+
+
+def best_of(fn):
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        for _ in range(ROUNDS):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / ROUNDS)
+    return best * 1000.0
+
+
+def deep_set_bytes(mapping):
+    """Resident bytes of a dict-of-frozensets occurrence/support table."""
+    total = sys.getsizeof(mapping)
+    for key, value in mapping.items():
+        total += sys.getsizeof(key) + sys.getsizeof(value)
+        for item in value:
+            total += sys.getsizeof(item)
+            if isinstance(item, tuple):
+                total += sum(sys.getsizeof(x) for x in item)
+    return total
+
+
+def synthetic_corpus(universe, k, densities, seed):
+    rng = random.Random(seed)
+    supports = [
+        sorted(rng.sample(range(universe), max(1, int(universe * d))))
+        for d in densities
+    ] * (k // len(densities) or 1)
+    return supports[:k] if len(supports) >= k else supports
+
+
+def test_storage_intersection(benchmark):
+    table = Table(
+        title="Posting-list vs set-based k-way support intersection",
+        columns=[
+            "scenario",
+            "universe",
+            "k",
+            "set_ms",
+            "posting_ms",
+            "speedup",
+            "dict_bytes",
+            "columnar_bytes",
+        ],
+    )
+
+    scenarios = [
+        ("uniform_dense", 20000, [0.10, 0.12, 0.15, 0.20, 0.25, 0.30], 5),
+        ("skewed", 20000, [0.002, 0.05, 0.30, 0.45, 0.60, 0.75], 6),
+        ("needle", 50000, [0.0004, 0.25, 0.40, 0.55], 7),
+        ("tiny_db", 200, [0.10, 0.30, 0.50, 0.80], 8),
+    ]
+    for name, universe, densities, seed in scenarios:
+        supports = synthetic_corpus(universe, len(densities), densities, seed)
+        # The old store keyed occurrence dicts by graph id; support_set()
+        # froze the keys on demand.  Keep that dict shape for the replay.
+        support_dicts = [dict.fromkeys(s) for s in supports]
+        frozensets = [frozenset(s) for s in supports]
+        postings = [PostingList.from_sorted(s) for s in supports]
+        expected = set_intersection(range(universe), support_dicts)
+        assert posting_intersection(postings) == expected  # answers pinned
+
+        set_ms = best_of(
+            lambda: set_intersection(range(universe), support_dicts)
+        )
+        posting_ms = best_of(lambda: posting_intersection(postings))
+        dict_bytes = deep_set_bytes(
+            {i: fs for i, fs in enumerate(frozensets)}
+        )
+        columnar_bytes = sum(p.nbytes() for p in postings)
+        table.add_row(
+            name,
+            universe,
+            len(supports),
+            set_ms,
+            posting_ms,
+            set_ms / max(posting_ms, 1e-9),
+            dict_bytes,
+            columnar_bytes,
+        )
+
+    # A real index: intersect the supports of its most frequent features
+    # and compare the occurrence tables' resident footprint before/after.
+    db = generate_aids_like(60, avg_atoms=14, seed=23)
+    index = TreePiIndex.build(
+        db, TreePiConfig(SupportFunction(2, 2.0, 5), gamma=1.2, seed=1)
+    )
+    features = sorted(index.features, key=lambda f: (-f.support, f.key))[:8]
+    location_dicts = [f.locations for f in features]  # the old dict store
+    postings = [f.support_posting() for f in features]
+    gids = db.graph_ids()
+    assert posting_intersection(postings) == set_intersection(
+        gids, location_dicts
+    )
+    set_ms = best_of(lambda: set_intersection(gids, location_dicts))
+    posting_ms = best_of(lambda: posting_intersection(postings))
+    dict_bytes = sum(deep_set_bytes(f.locations) for f in index.features)
+    columnar_bytes = index.storage_bytes()
+    table.add_row(
+        "treepi_index",
+        len(db),
+        len(features),
+        set_ms,
+        posting_ms,
+        set_ms / max(posting_ms, 1e-9),
+        dict_bytes,
+        columnar_bytes,
+    )
+    table.notes.append(
+        "set_ms replays the pre-refactor filter seeding (set(universe) copy); "
+        "dict/columnar bytes are the occurrence tables before/after."
+    )
+    publish(table, "storage_intersection")
+
+    # Acceptance gates: parity-or-faster intersection, smaller residency.
+    for row_set, row_posting in zip(table.column("set_ms"), table.column("posting_ms")):
+        assert row_posting <= row_set * 1.15 + 0.02
+    for before, after in zip(
+        table.column("dict_bytes"), table.column("columnar_bytes")
+    ):
+        assert after < before
+
+    benchmark.pedantic(
+        lambda: posting_intersection(postings), rounds=3, iterations=10
+    )

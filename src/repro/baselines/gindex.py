@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, FrozenSet, List, Optional, Set
+from typing import Callable, Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.core.statistics import QueryResult
 from repro.exceptions import IndexError_
@@ -27,6 +27,17 @@ from repro.graphs.canonical import canonical_label
 from repro.graphs.graph import Edge, GraphDatabase, LabeledGraph, edge_key
 from repro.graphs.isomorphism import is_subgraph_isomorphic
 from repro.mining.subgraph_miner import FrequentSubgraphMiner, gindex_psi
+from repro.storage import PostingList
+
+SupportSets = Mapping[str, Union[PostingList, FrozenSet[int], Iterable[int]]]
+
+
+def _as_postings(supports: SupportSets) -> Dict[str, PostingList]:
+    """Normalize label→support mappings onto the shared posting substrate."""
+    return {
+        key: value if isinstance(value, PostingList) else PostingList(value)
+        for key, value in supports.items()
+    }
 
 
 def _maximal_subpattern_keys(pattern: LabeledGraph) -> List[str]:
@@ -79,14 +90,15 @@ class GIndexBaseline:
         self,
         database: GraphDatabase,
         config: GIndexConfig,
-        frequent: Dict[str, FrozenSet[int]],
-        selected: Dict[str, FrozenSet[int]],
+        frequent: SupportSets,
+        selected: SupportSets,
         stats: GIndexStats,
     ) -> None:
         self._db = database
         self._config = config
-        self._frequent = frequent    # canonical label -> support set (all ψ-frequent)
-        self._selected = selected    # canonical label -> support set (discriminative)
+        # canonical label -> support posting list (all ψ-frequent / selected)
+        self._frequent = _as_postings(frequent)
+        self._selected = _as_postings(selected)
         self._stats = stats
 
     # ------------------------------------------------------------------
@@ -105,33 +117,36 @@ class GIndexBaseline:
             max_embeddings_per_graph=config.max_embeddings_per_graph,
         ).mine()
 
-        frequent: Dict[str, FrozenSet[int]] = {
-            key: pattern.support_set() for key, pattern in mined.patterns.items()
+        frequent: Dict[str, PostingList] = {
+            key: PostingList(pattern.support_set())
+            for key, pattern in mined.patterns.items()
         }
 
         # Discriminative selection, smallest patterns first: keep a pattern
         # when the intersection of its already-selected subpatterns' support
         # sets is at least γ_min times larger than its own support set.
-        selected: Dict[str, FrozenSet[int]] = {}
+        selected: Dict[str, PostingList] = {}
         by_size = sorted(mined.patterns.values(), key=lambda p: p.size)
         for pattern in by_size:
             if pattern.size == 1:
-                selected[pattern.key] = pattern.support_set()
+                selected[pattern.key] = frequent[pattern.key]
                 continue
-            intersection: Optional[Set[int]] = None
+            intersection: Optional[PostingList] = None
             for sub_key in _maximal_subpattern_keys(pattern.graph):
                 support = selected.get(sub_key)
                 if support is None:
                     continue
                 intersection = (
-                    set(support) if intersection is None else intersection & support
+                    support
+                    if intersection is None
+                    else intersection.intersect(support)
                 )
             if intersection is None:
-                selected[pattern.key] = pattern.support_set()
+                selected[pattern.key] = frequent[pattern.key]
                 continue
             ratio = len(intersection) / max(1, pattern.support)
             if ratio >= config.min_discriminative_ratio:
-                selected[pattern.key] = pattern.support_set()
+                selected[pattern.key] = frequent[pattern.key]
 
         sizes: Dict[int, int] = {}
         for key in selected:
@@ -166,13 +181,15 @@ class GIndexBaseline:
         phases["enumerate"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        candidates: Set[int] = set(self._db.graph_ids())
         empty_proof = False
-        supports = sorted((self._selected[key] for key in found), key=len)
-        for support in supports:
-            candidates &= support
-            if not candidates:
-                break
+        if found:
+            # Smallest-first adaptive k-way intersection; the universe
+            # initializer is only materialized when no feature applies.
+            candidates = PostingList.intersect_many(
+                [self._selected[key] for key in sorted(found)], early_exit=True
+            )
+        else:
+            candidates = PostingList(self._db.graph_ids())
         # A single query edge that is not even ψ-frequent at size 1 (σ=1
         # there) occurs nowhere: the answer is provably empty.
         for u, v, elabel in query.edges():
@@ -183,13 +200,13 @@ class GIndexBaseline:
                 empty_proof = True
                 break
         if empty_proof:
-            candidates = set()
+            candidates = PostingList()
         phases["filter"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         matches = frozenset(
             gid
-            for gid in sorted(candidates)
+            for gid in candidates  # posting lists iterate in sorted order
             if is_subgraph_isomorphic(query, self._db[gid])
         )
         phases["verification"] = time.perf_counter() - t0

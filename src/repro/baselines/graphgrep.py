@@ -19,6 +19,7 @@ from repro.core.statistics import QueryResult
 from repro.exceptions import IndexError_
 from repro.graphs.graph import GraphDatabase, LabeledGraph
 from repro.graphs.isomorphism import is_subgraph_isomorphic
+from repro.storage import LabelInterner, PostingList
 
 # A path fingerprint: alternating vertex and edge labels, canonically
 # oriented (the lexicographically smaller of the two read directions).
@@ -71,7 +72,16 @@ def path_fingerprint(graph: LabeledGraph, max_length: int) -> Dict[PathKey, int]
 
 
 class GraphGrepBaseline:
-    """A built GraphGrep index over one graph database."""
+    """A built GraphGrep index over one graph database.
+
+    Storage is the shared posting substrate: path keys are interned once
+    per database (:class:`~repro.storage.LabelInterner`), each graph's
+    fingerprint maps interned key → occurrence count, and an inverted
+    index keeps one sorted :class:`~repro.storage.PostingList` per path
+    key.  Filtering intersects the postings of the query's paths
+    smallest-first and only then applies the per-graph count threshold —
+    candidate discovery no longer scans every fingerprint.
+    """
 
     def __init__(self, database: GraphDatabase, config: GraphGrepConfig) -> None:
         if len(database) == 0:
@@ -79,8 +89,23 @@ class GraphGrepBaseline:
         self._db = database
         self._config = config
         start = time.perf_counter()
-        self._fingerprints: Dict[int, Dict[PathKey, int]] = {
-            g.graph_id: path_fingerprint(g, config.max_length) for g in database
+        self._paths = LabelInterner()
+        self._fingerprints: Dict[int, Dict[int, int]] = {}
+        inverted: Dict[int, List[int]] = {}
+        for gid in sorted(database.graph_ids()):
+            raw = path_fingerprint(database[gid], config.max_length)
+            interned = {
+                self._paths.intern(key): count
+                for key, count in sorted(raw.items())
+            }
+            self._fingerprints[gid] = interned
+            for key_id in interned:
+                inverted.setdefault(key_id, []).append(gid)
+        # Graph ids were visited in ascending order, so each inverted row
+        # is already strictly increasing.
+        self._postings: Dict[int, PostingList] = {
+            key_id: PostingList.from_sorted(gids)
+            for key_id, gids in sorted(inverted.items())
         }
         self.build_seconds = time.perf_counter() - start
 
@@ -92,21 +117,21 @@ class GraphGrepBaseline:
         """Total number of (graph, path) fingerprint entries."""
         return sum(len(fp) for fp in self._fingerprints.values())
 
+    def storage_bytes(self) -> int:
+        """Resident bytes of the inverted posting columns."""
+        return sum(p.nbytes() for _, p in sorted(self._postings.items()))
+
     def query(self, query: LabeledGraph) -> QueryResult:
         phases: Dict[str, float] = {}
         t0 = time.perf_counter()
         needed = path_fingerprint(query, self._config.max_length)
-        candidates = [
-            gid
-            for gid, fp in self._fingerprints.items()
-            if all(fp.get(key, 0) >= count for key, count in needed.items())
-        ]
+        candidates = self._filter(needed)
         phases["filter"] = time.perf_counter() - t0
 
         t0 = time.perf_counter()
         matches = frozenset(
             gid
-            for gid in sorted(candidates)
+            for gid in candidates  # _filter returns ascending ids
             if is_subgraph_isomorphic(query, self._db[gid])
         )
         phases["verification"] = time.perf_counter() - t0
@@ -116,3 +141,32 @@ class GraphGrepBaseline:
             candidates_after_prune=len(candidates),
             phase_seconds=phases,
         )
+
+    def _filter(self, needed: Dict[PathKey, int]) -> List[int]:
+        """Graphs whose fingerprint dominates ``needed``, in id order.
+
+        Posting intersection finds the graphs containing *every* query
+        path at least once; the count threshold (a graph must contain at
+        least as many occurrences as the query) is then checked against
+        the survivors' interned fingerprints only.
+        """
+        if not needed:
+            return sorted(self._db.graph_ids())
+        requirements: List[Tuple[int, int]] = []
+        for key in sorted(needed):
+            key_id = self._paths.get(key)
+            if key_id is None:
+                return []  # this path occurs in no database graph
+            requirements.append((key_id, needed[key]))
+        shared = PostingList.intersect_many(
+            [self._postings[key_id] for key_id, _ in requirements],
+            early_exit=True,
+        )
+        return [
+            gid
+            for gid in shared
+            if all(
+                self._fingerprints[gid].get(key_id, 0) >= count
+                for key_id, count in requirements
+            )
+        ]

@@ -217,6 +217,17 @@ class QueryEngine:
         with self._mutex:
             return self._counters.snapshot()
 
+    def storage_bytes(self) -> int:
+        """Resident bytes of the served index's columnar storage.
+
+        Taken under the read lock so a concurrent rebuild/maintenance
+        splice cannot be observed half-way; the columns themselves are
+        immutable snapshots (see :mod:`repro.storage.occurrences`), so
+        the sum is consistent.
+        """
+        with self._rw.read_locked():
+            return self._index.storage_bytes()
+
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------

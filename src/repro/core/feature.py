@@ -8,31 +8,62 @@ A :class:`FeatureTree` is a selected frequent subtree together with
 * for every supporting graph, the set of **center locations** — the
   positions at which embedded copies of the tree are centered.  This is
   the paper's per-vertex/per-edge bit array of Section 4.2.1, stored
-  sparsely, and it is the location information that powers both Center
-  Distance pruning and reconstruction-based verification.
+  columnar in a :class:`~repro.storage.occurrences.OccurrenceStore`, and
+  it is the location information that powers both Center Distance
+  pruning and reconstruction-based verification.
+
+The support set doubles as the feature's posting list: filtering
+(Algorithm 1) intersects :meth:`FeatureTree.support_posting` snapshots
+directly, with no per-query frozenset materialization.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable
+from typing import Dict, FrozenSet, Iterable, Mapping, Optional
 
 from repro.graphs.graph import LabeledGraph
 from repro.mining.patterns import MinedPattern
+from repro.storage import OccurrenceStore, PostingList
 from repro.trees.center import Center, tree_center
 
 CenterSet = FrozenSet[Center]
 
 
-@dataclass
 class FeatureTree:
     """One indexed feature tree with its exact occurrence locations."""
 
-    feature_id: int
-    tree: LabeledGraph
-    key: str                      # canonical string
-    center: Center                # center in the tree's own coordinates
-    locations: Dict[int, CenterSet] = field(default_factory=dict)
+    __slots__ = ("feature_id", "tree", "key", "center", "store")
+
+    def __init__(
+        self,
+        feature_id: int,
+        tree: LabeledGraph,
+        key: str,
+        center: Center,
+        locations: Optional[Mapping[int, Iterable[Center]]] = None,
+        store: Optional[OccurrenceStore] = None,
+    ) -> None:
+        self.feature_id = feature_id
+        self.tree = tree
+        self.key = key
+        self.center = center
+        if store is not None:
+            if store.arity != len(center):
+                raise ValueError(
+                    f"store arity {store.arity} does not match "
+                    f"center arity {len(center)}"
+                )
+            self.store = store
+        else:
+            self.store = OccurrenceStore.from_mapping(
+                len(center), locations or {}
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<FeatureTree id={self.feature_id} size={self.size} "
+            f"support={self.support} key={self.key[:40]!r}>"
+        )
 
     @property
     def size(self) -> int:
@@ -46,17 +77,31 @@ class FeatureTree:
     @property
     def support(self) -> int:
         """``|D_t|`` — the number of graphs containing this tree."""
-        return len(self.locations)
+        return len(self.store)
+
+    @property
+    def locations(self) -> Dict[int, CenterSet]:
+        """The classic dict-of-frozensets view, materialized on demand.
+
+        Compatibility/introspection surface only — hot paths read the
+        columnar ``store`` directly via :meth:`support_posting`,
+        :meth:`centers_in`, and :meth:`support_set`.
+        """
+        return self.store.to_mapping()
 
     def support_set(self) -> FrozenSet[int]:
-        return frozenset(self.locations)
+        return self.store.graph_ids().to_frozenset()
+
+    def support_posting(self) -> PostingList:
+        """The support set as a zero-copy sorted posting-list snapshot."""
+        return self.store.graph_ids()
 
     def centers_in(self, graph_id: int) -> CenterSet:
         """Center locations of this feature inside one graph (possibly empty)."""
-        return self.locations.get(graph_id, frozenset())
+        return self.store.centers_in(graph_id)
 
     def total_locations(self) -> int:
-        return sum(len(c) for c in self.locations.values())
+        return self.store.total_centers()
 
     @classmethod
     def from_mined_pattern(cls, feature_id: int, pattern: MinedPattern) -> "FeatureTree":
@@ -82,11 +127,8 @@ class FeatureTree:
 
     def add_occurrences(self, graph_id: int, centers: Iterable[Center]) -> None:
         """Insert-maintenance hook: record occurrences in a new graph."""
-        centers = frozenset(centers)
-        if centers:
-            existing = self.locations.get(graph_id, frozenset())
-            self.locations[graph_id] = existing | centers
+        self.store.add_graph(graph_id, centers)
 
     def remove_graph(self, graph_id: int) -> bool:
         """Delete-maintenance hook: purge a graph; True if it was present."""
-        return self.locations.pop(graph_id, None) is not None
+        return self.store.remove_graph(graph_id)

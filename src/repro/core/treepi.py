@@ -38,6 +38,7 @@ from repro.mining.patterns import MinedPattern
 from repro.mining.shrink import leaf_removed_subtrees, shrink_feature_set
 from repro.mining.subtree_miner import FrequentSubtreeMiner, _chunk
 from repro.mining.support import SupportFunction
+from repro.storage import PostingList
 from repro.trees.canonical import tree_canonical_string
 from repro.trees.center import tree_center
 
@@ -283,6 +284,16 @@ class TreePiIndex:
     def feature_count(self) -> int:
         return len(self._features)
 
+    def storage_bytes(self) -> int:
+        """Resident bytes of the columnar occurrence/support storage.
+
+        Counts the posting and center columns of every feature's
+        :class:`~repro.storage.occurrences.OccurrenceStore` — the part of
+        the index the storage layer owns (graphs, tries and stats live
+        elsewhere).
+        """
+        return sum(f.store.nbytes() for f in self._features)
+
     def has_feature(self, key: str) -> bool:
         return key in self._trie
 
@@ -363,24 +374,27 @@ class TreePiIndex:
         extra_keys = single_edge_keys + larger_keys
 
         # Stage-1 filter on the augmentation subtrees alone.  Cheap (pure
-        # lookups), and when it already leaves only a handful of candidates
-        # the partition budget δ can shrink: SF_q diversity buys nothing on
-        # a near-final candidate set, while TP_q for verification needs
-        # only a few restarts.
+        # lookups and posting-list merges), and when it already leaves only
+        # a handful of candidates the partition budget δ can shrink: SF_q
+        # diversity buys nothing on a near-final candidate set, while TP_q
+        # for verification needs only a few restarts.  ``stage1`` is the
+        # ``P_q ← D`` initializer handed to Algorithm 1; when augmentation
+        # features exist their intersection bounds it without ever copying
+        # the database id set.
+        stage1: Optional[PostingList] = None
         if self._config.augment_small_subtrees:
-            stage1 = set(self._db.graph_ids())
-            # dict.fromkeys dedups while keeping list order, and the key
-            # ties on the canonical string: the intersection sequence (and
-            # the early-exit point) is identical on every run.
-            for feature in sorted(
-                (self._lookup[k] for k in dict.fromkeys(extra_keys) if k in self._lookup),
-                key=lambda f: (f.support, f.key),
-            ):
-                stage1 &= feature.support_set()
-                if not stage1:
-                    break
-        else:
-            stage1 = set(self._db.graph_ids())
+            # dict.fromkeys dedups while keeping list order; intersection
+            # is order-free and intersect_many runs smallest-first with
+            # the Algorithm 1 early exit.
+            postings = [
+                self._lookup[k].support_posting()
+                for k in dict.fromkeys(extra_keys)
+                if k in self._lookup
+            ]
+            if postings:
+                stage1 = PostingList.intersect_many(postings, early_exit=True)
+        if stage1 is None:
+            stage1 = PostingList.from_sorted(sorted(self._db.graph_ids()))
 
         rng = random.Random(self._config.seed)
         delta = self._config.delta or max(1, query.num_edges)

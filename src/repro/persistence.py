@@ -6,6 +6,20 @@ sets — everything :class:`repro.core.TreePiIndex` holds.  Loading
 reconstructs an index that answers queries identically to the original
 (tested byte-for-byte on query results).
 
+Two format versions are understood:
+
+* **v1** (legacy) tags every label occurrence with its type and spells
+  each center location as a nested list — verbose but self-describing.
+* **v2** (current, :data:`FORMAT_VERSION`) stores one
+  :class:`~repro.storage.LabelInterner` table per document and
+  references labels by dense id everywhere; feature occurrences are the
+  raw :class:`~repro.storage.OccurrenceStore` columns (sorted graph-id
+  column, offset column, delta-encoded flattened center column).
+
+``save_index`` writes v2; ``load_index`` accepts both, and an unknown or
+future version raises :class:`~repro.exceptions.SerializationError` with
+an actionable message instead of mis-decoding.
+
 Labels are stored with explicit type tags so integers, strings, and the
 tuple labels produced by the directed subdivision encoding all round-trip
 losslessly (plain JSON would silently turn tuples into lists and integer
@@ -16,7 +30,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Union
 
 from repro.core.feature import FeatureTree
 from repro.core.statistics import IndexStats
@@ -25,9 +39,11 @@ from repro.exceptions import SerializationError
 from repro.graphs.graph import GraphDatabase, LabeledGraph
 from repro.mining.subtree_miner import MiningStats
 from repro.mining.support import SupportFunction
+from repro.storage import LabelInterner, OccurrenceStore
 
 FORMAT_NAME = "treepi-index"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 
 # ----------------------------------------------------------------------
@@ -171,9 +187,9 @@ def _stats_from_json(data: Dict[str, Any]) -> IndexStats:
 
 
 # ----------------------------------------------------------------------
-# features
+# features (v1: type-tagged labels, nested center lists)
 # ----------------------------------------------------------------------
-def _feature_to_json(feature: FeatureTree) -> Dict[str, Any]:
+def _feature_to_json_v1(feature: FeatureTree) -> Dict[str, Any]:
     return {
         "id": feature.feature_id,
         "tree": graph_to_json(feature.tree),
@@ -181,12 +197,12 @@ def _feature_to_json(feature: FeatureTree) -> Dict[str, Any]:
         "center": list(feature.center),
         "locations": {
             str(gid): sorted(list(c) for c in centers)
-            for gid, centers in feature.locations.items()
+            for gid, centers in sorted(feature.locations.items())
         },
     }
 
 
-def _feature_from_json(data: Dict[str, Any]) -> FeatureTree:
+def _feature_from_json_v1(data: Dict[str, Any]) -> FeatureTree:
     return FeatureTree(
         feature_id=data["id"],
         tree=graph_from_json(data["tree"]),
@@ -200,43 +216,153 @@ def _feature_from_json(data: Dict[str, Any]) -> FeatureTree:
 
 
 # ----------------------------------------------------------------------
+# v2: interned label columns + occurrence-store columns
+# ----------------------------------------------------------------------
+def _graph_to_columns(graph: LabeledGraph, interner: LabelInterner) -> Dict[str, Any]:
+    return {
+        "v": [interner.intern(label) for label in graph.vertex_labels()],
+        "e": [
+            [u, v, interner.intern(label)] for u, v, label in graph.edges()
+        ],
+    }
+
+
+def _graph_from_columns(
+    data: Dict[str, Any], labels: List[Any], graph_id: Optional[int] = None
+) -> LabeledGraph:
+    try:
+        graph = LabeledGraph(
+            [labels[lid] for lid in data["v"]], graph_id=graph_id
+        )
+        for u, v, lid in data["e"]:
+            graph.add_edge(u, v, labels[lid])
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SerializationError(f"malformed v2 graph record: {exc}") from exc
+    return graph
+
+
+def _feature_to_json_v2(
+    feature: FeatureTree, interner: LabelInterner
+) -> Dict[str, Any]:
+    gids, offsets, centers = feature.store.columns()
+    return {
+        "id": feature.feature_id,
+        "tree": _graph_to_columns(feature.tree, interner),
+        "key": feature.key,
+        "center": list(feature.center),
+        "occ": {"gids": gids, "offsets": offsets, "centers": centers},
+    }
+
+
+def _feature_from_json_v2(data: Dict[str, Any], labels: List[Any]) -> FeatureTree:
+    center = tuple(data["center"])
+    occ = data["occ"]
+    try:
+        store = OccurrenceStore.from_columns(
+            len(center), occ["gids"], occ["offsets"], occ["centers"]
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed occurrence columns for feature {data.get('id')!r}: {exc}"
+        ) from exc
+    return FeatureTree(
+        feature_id=data["id"],
+        tree=_graph_from_columns(data["tree"], labels),
+        key=data["key"],
+        center=center,
+        store=store,
+    )
+
+
+# ----------------------------------------------------------------------
 # top level
 # ----------------------------------------------------------------------
-def index_to_json(index: TreePiIndex) -> Dict[str, Any]:
+def index_to_json(
+    index: TreePiIndex, version: int = FORMAT_VERSION
+) -> Dict[str, Any]:
+    """Serialize an index; ``version`` selects the on-disk dialect."""
+    if version not in SUPPORTED_VERSIONS:
+        raise SerializationError(
+            f"cannot write index format version {version!r}; "
+            f"this build supports {SUPPORTED_VERSIONS}"
+        )
     db = index.database
+    if version == 1:
+        return {
+            "format": FORMAT_NAME,
+            "version": 1,
+            "config": _config_to_json(index.config),
+            "stats": _stats_to_json(index.stats),
+            "database": {
+                str(gid): graph_to_json(db[gid]) for gid in db.graph_ids()
+            },
+            "features": [_feature_to_json_v1(f) for f in index.features],
+        }
+    # The interner is filled in canonical order (ascending graph id,
+    # vertex order, edge order, then features in id order), so the same
+    # index serializes to byte-identical JSON on every run.
+    interner = LabelInterner()
+    database = {
+        str(gid): _graph_to_columns(db[gid], interner)
+        for gid in sorted(db.graph_ids())
+    }
+    features = [_feature_to_json_v2(f, interner) for f in index.features]
     return {
         "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        "version": 2,
         "config": _config_to_json(index.config),
         "stats": _stats_to_json(index.stats),
-        "database": {
-            str(gid): graph_to_json(db[gid]) for gid in db.graph_ids()
-        },
-        "features": [_feature_to_json(f) for f in index.features],
+        "labels": [encode_label(label) for label in interner.labels()],
+        "database": database,
+        "features": features,
     }
 
 
 def index_from_json(data: Dict[str, Any]) -> TreePiIndex:
+    """Reconstruct an index from any supported format version.
+
+    Version negotiation is explicit: documents declaring a version this
+    build does not know (e.g. one written by a newer release) are
+    rejected with a :class:`SerializationError` telling the operator
+    what to do, rather than being half-decoded into a wrong index.
+    """
     if data.get("format") != FORMAT_NAME:
         raise SerializationError(f"not a {FORMAT_NAME} document")
-    if data.get("version") != FORMAT_VERSION:
+    version = data.get("version")
+    if version not in SUPPORTED_VERSIONS:
         raise SerializationError(
-            f"unsupported index format version {data.get('version')!r}"
+            f"index format version {version!r} is not supported by this "
+            f"build (supported: {', '.join(map(str, SUPPORTED_VERSIONS))}). "
+            "The document was probably written by a newer release — "
+            "upgrade this installation, or re-save the index with "
+            f"index_to_json(index, version={FORMAT_VERSION}) from the "
+            "release that produced it."
         )
-    db = GraphDatabase()
-    for gid_str, record in sorted(data["database"].items(), key=lambda kv: int(kv[0])):
-        gid = int(gid_str)
-        db.add(graph_from_json(record), graph_id=gid)
-    features = [_feature_from_json(f) for f in data["features"]]
     config = _config_from_json(data["config"])
     stats = _stats_from_json(data["stats"])
+    db = GraphDatabase()
+    if version == 1:
+        for gid_str, record in sorted(
+            data["database"].items(), key=lambda kv: int(kv[0])
+        ):
+            db.add(graph_from_json(record), graph_id=int(gid_str))
+        features = [_feature_from_json_v1(f) for f in data["features"]]
+        return TreePiIndex(db, config, features, stats)
+    labels = [decode_label(record) for record in data["labels"]]
+    for gid_str, record in sorted(
+        data["database"].items(), key=lambda kv: int(kv[0])
+    ):
+        db.add(_graph_from_columns(record, labels), graph_id=int(gid_str))
+    features = [_feature_from_json_v2(f, labels) for f in data["features"]]
     return TreePiIndex(db, config, features, stats)
 
 
-def save_index(index: TreePiIndex, path: Union[str, Path]) -> None:
+def save_index(
+    index: TreePiIndex, path: Union[str, Path], version: int = FORMAT_VERSION
+) -> None:
     """Write the index (database included) as a JSON document."""
     with open(path, "w") as f:
-        json.dump(index_to_json(index), f)
+        json.dump(index_to_json(index, version=version), f)
 
 
 def load_index(path: Union[str, Path]) -> TreePiIndex:

@@ -1,0 +1,25 @@
+"""Shared posting-list storage layer (see ``docs/STORAGE.md``).
+
+One columnar substrate under the three index implementations:
+
+* :class:`LabelInterner` — bidirectional label ↔ small-int dictionary,
+  shared per database (persistence format v2, GraphGrep path keys),
+* :class:`PostingList` — immutable sorted id column with adaptive
+  gallop/hash two-way intersection and a smallest-first k-way
+  :meth:`~PostingList.intersect_many`, the substrate of every
+  support-set filter stage (TreePi Algorithm 1, gIndex, GraphGrep),
+* :class:`OccurrenceStore` — columnar per-feature center-location table
+  (Section 4.2.1's per-graph location information) with incremental
+  ``add_graph``/``remove_graph`` for Section 7.1 maintenance.
+
+The design follows the succinct-representation line of MSQ-Index
+(arXiv:1612.09155) and CNI (arXiv:1703.05547): sorted integer columns
+instead of hash sets, delta-encoded occurrence coordinates instead of
+per-graph tuples-in-frozensets.
+"""
+
+from repro.storage.interner import LabelInterner
+from repro.storage.occurrences import OccurrenceStore
+from repro.storage.posting import PostingList
+
+__all__ = ["LabelInterner", "OccurrenceStore", "PostingList"]

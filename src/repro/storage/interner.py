@@ -1,0 +1,64 @@
+"""Bidirectional label ↔ small-int interning, shared per database.
+
+Vertex labels, edge labels, and GraphGrep path keys repeat across every
+graph of a database; interning them once turns each repeated occurrence
+into a 4-byte column entry and gives the on-disk v2 format a single
+label table instead of per-site type-tagged records.
+
+Ids are assigned in first-``intern`` order, so an interner filled by
+iterating a database in canonical order (sorted graph ids, vertex order,
+edge order) is deterministic — the persistence layer relies on that for
+byte-identical saves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, Iterator, List, Optional
+
+
+class LabelInterner:
+    """A bidirectional dictionary between hashable labels and dense ids."""
+
+    __slots__ = ("_to_id", "_labels")
+
+    def __init__(self, labels: Iterable[Hashable] = ()) -> None:
+        self._to_id: Dict[Any, int] = {}
+        self._labels: List[Any] = []
+        for label in labels:
+            self.intern(label)
+
+    def intern(self, label: Hashable) -> int:
+        """Return the id of ``label``, assigning the next dense id if new."""
+        existing = self._to_id.get(label)
+        if existing is not None:
+            return existing
+        new_id = len(self._labels)
+        self._to_id[label] = new_id
+        self._labels.append(label)
+        return new_id
+
+    def get(self, label: Hashable) -> Optional[int]:
+        """The id of ``label`` if already interned, else ``None``."""
+        return self._to_id.get(label)
+
+    def label_of(self, label_id: int) -> Any:
+        """The label behind ``label_id`` (raises ``IndexError`` if unknown)."""
+        if label_id < 0:
+            raise IndexError(f"label ids are non-negative, got {label_id}")
+        return self._labels[label_id]
+
+    def labels(self) -> List[Any]:
+        """All labels in id order (a copy; index == id)."""
+        return list(self._labels)
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, label: object) -> bool:
+        return label in self._to_id
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._labels)
+
+    def __repr__(self) -> str:
+        return f"LabelInterner(n={len(self._labels)})"

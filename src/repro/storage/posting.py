@@ -1,0 +1,226 @@
+"""Immutable sorted-id posting lists with adaptive intersection.
+
+A :class:`PostingList` is a support set ``D_t`` stored as a sorted
+``array`` of unsigned graph ids — 4 bytes per id instead of a hash-set
+entry and cache-friendly iteration.  Two-way intersection is *adaptive*:
+a heavily skewed pair gallops — binary-searching each id of the short
+list in the long one with an advancing lower bound (O(m log n), the
+classic small-vs-large win) — while comparable-length inputs hash the
+smaller side and re-sort the (small) result; measured on this
+interpreter, that beats a pure-Python linear merge at every size (the
+merge loop survives in :meth:`union`/:meth:`difference`, which must
+stream every element anyway).
+
+Instances are immutable snapshots: every operation returns a new list
+and :class:`~repro.storage.occurrences.OccurrenceStore` mutations swap
+whole columns, so a posting list handed to a reader stays internally
+consistent even while maintenance rewrites the store it came from.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from typing import Iterable, Iterator, Optional, Sequence, Set
+
+#: Length ratio beyond which two-way intersection gallops instead of
+#: hash-intersecting (measured crossover on CPython: gallop wins past
+#: roughly 16:1 skew, hashing the smaller side wins below it).
+GALLOP_RATIO = 16
+
+_ID_TYPECODE = "I" if array("I").itemsize >= 4 else "L"
+_WIDE_TYPECODE = "Q"
+_ID_MAX = (1 << (array(_ID_TYPECODE).itemsize * 8)) - 1
+
+
+def id_array(values: Iterable[int] = ()) -> array:
+    """A compact unsigned array for ids, widening only when values demand it."""
+    values = list(values)
+    if values and (max(values) > _ID_MAX):
+        return array(_WIDE_TYPECODE, values)
+    return array(_ID_TYPECODE, values)
+
+
+class PostingList:
+    """An immutable, strictly increasing column of non-negative ids."""
+
+    __slots__ = ("_ids",)
+
+    def __init__(self, ids: Iterable[int] = ()) -> None:
+        unique = sorted(set(ids))
+        if unique and unique[0] < 0:
+            raise ValueError("posting lists hold non-negative ids only")
+        self._ids = id_array(unique)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def _wrap(cls, ids: array) -> "PostingList":
+        """Adopt an already sorted+deduplicated array without copying."""
+        out = cls.__new__(cls)
+        out._ids = ids
+        return out
+
+    @classmethod
+    def from_sorted(cls, ids: Sequence[int]) -> "PostingList":
+        """Build from a strictly increasing sequence (validated)."""
+        for i in range(1, len(ids)):
+            if ids[i - 1] >= ids[i]:
+                raise ValueError(
+                    f"ids must be strictly increasing, got "
+                    f"{ids[i - 1]} before {ids[i]} at position {i}"
+                )
+        if len(ids) and ids[0] < 0:
+            raise ValueError("posting lists hold non-negative ids only")
+        return cls._wrap(id_array(ids))
+
+    # ------------------------------------------------------------------
+    # container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __bool__(self) -> bool:
+        return len(self._ids) > 0
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._ids)
+
+    def __getitem__(self, index: int) -> int:
+        return self._ids[index]
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, int) or value < 0:
+            return False
+        ids = self._ids
+        i = bisect_left(ids, value)
+        return i < len(ids) and ids[i] == value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PostingList):
+            return len(self._ids) == len(other._ids) and all(
+                a == b for a, b in zip(self._ids, other._ids)
+            )
+        if isinstance(other, (set, frozenset)):
+            return len(self._ids) == len(other) and all(
+                gid in other for gid in self._ids
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        preview = ", ".join(map(str, self._ids[:8]))
+        suffix = ", ..." if len(self._ids) > 8 else ""
+        return f"PostingList([{preview}{suffix}] n={len(self._ids)})"
+
+    def to_frozenset(self) -> frozenset:
+        return frozenset(self._ids)
+
+    def nbytes(self) -> int:
+        """Resident bytes of the id column."""
+        return self._ids.itemsize * len(self._ids)
+
+    # ------------------------------------------------------------------
+    # set algebra
+    # ------------------------------------------------------------------
+    def intersect(self, other: "PostingList") -> "PostingList":
+        """Two-way intersection, galloping when lengths are skewed."""
+        small, large = (
+            (self, other) if len(self) <= len(other) else (other, self)
+        )
+        if not small:
+            return PostingList._wrap(id_array())
+        if len(large) >= GALLOP_RATIO * len(small):
+            return small._gallop_into(large)
+        # Comparable lengths: hash the smaller column, intersect at C
+        # speed, and re-sort the (at most |small|-sized) result.
+        common = frozenset(small._ids).intersection(large._ids)
+        return PostingList._wrap(id_array(sorted(common)))
+
+    def _gallop_into(self, large: "PostingList") -> "PostingList":
+        ids = large._ids
+        out = id_array()
+        lo, hi = 0, len(ids)
+        for x in self._ids:
+            lo = bisect_left(ids, x, lo, hi)
+            if lo == hi:
+                break
+            if ids[lo] == x:
+                out.append(x)
+                lo += 1
+        return PostingList._wrap(out)
+
+    def union(self, other: "PostingList") -> "PostingList":
+        a, b = self._ids, other._ids
+        out = id_array()
+        i = j = 0
+        la, lb = len(a), len(b)
+        while i < la and j < lb:
+            x, y = a[i], b[j]
+            if x == y:
+                out.append(x)
+                i += 1
+                j += 1
+            elif x < y:
+                out.append(x)
+                i += 1
+            else:
+                out.append(y)
+                j += 1
+        out.extend(a[i:])
+        out.extend(b[j:])
+        return PostingList._wrap(out)
+
+    def difference(self, other: "PostingList") -> "PostingList":
+        out = id_array()
+        for x in self._ids:
+            if x not in other:
+                out.append(x)
+        return PostingList._wrap(out)
+
+    @staticmethod
+    def intersect_many(
+        lists: Sequence["PostingList"], early_exit: bool = True
+    ) -> "PostingList":
+        """k-way intersection, smallest first.
+
+        The inputs are ordered by ascending length so the running result
+        can only shrink from the tightest starting point; each step then
+        re-decides hash vs gallop from the *current* lengths (the
+        adaptive part — as the intersection collapses, later steps
+        degrade into cheap galloping probes).  Consecutive hash steps
+        share one running ``set`` and the result is sorted back into a
+        column only once at the end, so a k-way chain over
+        comparable-length supports costs one sort, not k.  ``early_exit``
+        stops at the first empty intermediate, the Algorithm 1
+        short-circuit.
+        """
+        if not lists:
+            raise ValueError("intersect_many needs at least one posting list")
+        ordered = sorted(lists, key=len)
+        column = ordered[0]
+        running: Optional[Set[int]] = None
+        for nxt in ordered[1:]:
+            size = len(column) if running is None else len(running)
+            if early_exit and size == 0:
+                break
+            if len(nxt) >= GALLOP_RATIO * size:
+                if running is not None:
+                    column = PostingList._wrap(id_array(sorted(running)))
+                    running = None
+                column = column._gallop_into(nxt)
+            else:
+                if running is None:
+                    running = set(column._ids)
+                running.intersection_update(nxt._ids)
+        if running is not None:
+            return PostingList._wrap(id_array(sorted(running)))
+        return column
+
+
+def union_many(lists: Sequence[PostingList]) -> PostingList:
+    """k-way union (used by tests and ad-hoc maintenance tooling)."""
+    result = PostingList()
+    for nxt in lists:
+        result = result.union(nxt)
+    return result

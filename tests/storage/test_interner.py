@@ -1,0 +1,52 @@
+"""LabelInterner unit tests: bidirectionality, determinism, edge cases."""
+
+import pytest
+
+from repro.storage import LabelInterner
+
+
+class TestInterner:
+    def test_dense_ids_in_intern_order(self):
+        interner = LabelInterner()
+        assert interner.intern("C") == 0
+        assert interner.intern("N") == 1
+        assert interner.intern("C") == 0  # idempotent
+        assert len(interner) == 2
+
+    def test_bidirectional(self):
+        interner = LabelInterner(["a", ("t", 1), 7])
+        for label in ["a", ("t", 1), 7]:
+            label_id = interner.get(label)
+            assert label_id is not None
+            assert interner.label_of(label_id) == label
+
+    def test_get_unknown_is_none(self):
+        assert LabelInterner().get("ghost") is None
+
+    def test_label_of_unknown_raises(self):
+        with pytest.raises(IndexError):
+            LabelInterner(["x"]).label_of(5)
+        with pytest.raises(IndexError):
+            LabelInterner(["x"]).label_of(-1)
+
+    def test_contains_and_iter(self):
+        interner = LabelInterner(["b", "a"])
+        assert "b" in interner
+        assert "z" not in interner
+        assert list(interner) == ["b", "a"]  # id order, not sort order
+        assert interner.labels() == ["b", "a"]
+
+    def test_labels_returns_copy(self):
+        interner = LabelInterner(["x"])
+        interner.labels().append("mutation")
+        assert len(interner) == 1
+
+    def test_deterministic_rebuild(self):
+        labels = ["C", "O", ("bond", 2), 5, None]
+        a = LabelInterner(labels)
+        b = LabelInterner(a.labels())
+        assert a.labels() == b.labels()
+        assert all(a.get(l) == b.get(l) for l in labels)
+
+    def test_repr(self):
+        assert "n=2" in repr(LabelInterner(["p", "q"]))

@@ -1,0 +1,140 @@
+"""PostingList unit + seeded randomized property tests against set oracles."""
+
+import random
+
+import pytest
+
+from repro.storage import PostingList
+from repro.storage.posting import GALLOP_RATIO, union_many
+
+
+class TestConstruction:
+    def test_sorts_and_dedups(self):
+        pl = PostingList([5, 1, 3, 1, 5])
+        assert list(pl) == [1, 3, 5]
+
+    def test_empty(self):
+        pl = PostingList()
+        assert len(pl) == 0
+        assert not pl
+        assert list(pl) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            PostingList([3, -1])
+
+    def test_from_sorted_validates(self):
+        assert list(PostingList.from_sorted([1, 2, 9])) == [1, 2, 9]
+        with pytest.raises(ValueError):
+            PostingList.from_sorted([1, 1])
+        with pytest.raises(ValueError):
+            PostingList.from_sorted([2, 1])
+
+    def test_wide_ids(self):
+        big = 1 << 40
+        pl = PostingList([big, 7])
+        assert list(pl) == [7, big]
+        assert big in pl
+
+
+class TestContainer:
+    def test_contains(self):
+        pl = PostingList([2, 4, 8])
+        assert 4 in pl
+        assert 5 not in pl
+        assert -1 not in pl
+        assert "x" not in pl
+
+    def test_getitem(self):
+        assert PostingList([9, 4])[1] == 9
+
+    def test_eq_posting_and_set(self):
+        pl = PostingList([1, 2])
+        assert pl == PostingList([2, 1])
+        assert pl == {1, 2}
+        assert pl == frozenset({1, 2})
+        assert pl != {1, 3}
+        assert pl != PostingList([1])
+
+    def test_repr_truncates(self):
+        assert "n=20" in repr(PostingList(range(20)))
+
+    def test_nbytes(self):
+        assert PostingList([1, 2, 3]).nbytes() >= 12
+
+
+class TestAlgebra:
+    def test_intersect_merge_path(self):
+        a, b = PostingList([1, 2, 3, 4]), PostingList([2, 4, 6])
+        assert a.intersect(b) == {2, 4}
+
+    def test_intersect_gallop_path(self):
+        small = PostingList([3, 500])
+        large = PostingList(range(0, GALLOP_RATIO * 4 * 2, 2))
+        assert large.intersect(small) == ({3, 500} & set(large))
+
+    def test_intersect_empty(self):
+        assert PostingList().intersect(PostingList([1])) == frozenset()
+
+    def test_union(self):
+        assert PostingList([1, 5]).union(PostingList([2, 5])) == {1, 2, 5}
+
+    def test_difference(self):
+        assert PostingList([1, 2, 3]).difference(PostingList([2])) == {1, 3}
+
+    def test_intersect_many_requires_input(self):
+        with pytest.raises(ValueError):
+            PostingList.intersect_many([])
+
+    def test_intersect_many_single(self):
+        assert PostingList.intersect_many([PostingList([4, 2])]) == {2, 4}
+
+    def test_intersect_many_early_exit(self):
+        lists = [PostingList([1]), PostingList([2]), PostingList([1, 2])]
+        assert PostingList.intersect_many(lists) == frozenset()
+
+
+class TestRandomizedOracle:
+    """Seeded sweeps comparing every operation against plain Python sets."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_two_way_ops(self, seed):
+        rng = random.Random(seed)
+        for _ in range(120):
+            # Skewed sizes on purpose: both merge and gallop paths fire.
+            a = rng.sample(range(2500), rng.randrange(0, 160))
+            b = rng.sample(range(2500), rng.randrange(0, 1600))
+            pa, pb = PostingList(a), PostingList(b)
+            sa, sb = set(a), set(b)
+            assert pa.intersect(pb) == sa & sb
+            assert pb.intersect(pa) == sa & sb
+            assert pa.union(pb) == sa | sb
+            assert pa.difference(pb) == sa - sb
+            probe = rng.randrange(2500)
+            assert (probe in pa) == (probe in sa)
+
+    @pytest.mark.parametrize("seed", [10, 11, 12])
+    def test_k_way(self, seed):
+        rng = random.Random(seed)
+        for _ in range(80):
+            k = rng.randrange(1, 7)
+            lists = [
+                PostingList(rng.sample(range(400), rng.randrange(0, 250)))
+                for _ in range(k)
+            ]
+            expected = set(lists[0])
+            for nxt in lists[1:]:
+                expected &= set(nxt)
+            assert PostingList.intersect_many(lists) == expected
+            assert (
+                PostingList.intersect_many(lists, early_exit=False) == expected
+            )
+            union_expected = set()
+            for nxt in lists:
+                union_expected |= set(nxt)
+            assert union_many(lists) == union_expected
+
+    def test_singleton_and_duplicate_edges(self):
+        assert PostingList([7]).intersect(PostingList([7])) == {7}
+        assert PostingList([7, 7, 7]) == {7}
+        assert PostingList([7]).intersect(PostingList([8])) == frozenset()

@@ -123,8 +123,93 @@ class TestFormatGuards:
         with pytest.raises(SerializationError):
             index_from_json({"format": "treepi-index", "version": 99})
 
+    def test_future_version_message_is_actionable(self):
+        with pytest.raises(SerializationError) as excinfo:
+            index_from_json({"format": "treepi-index", "version": 3})
+        message = str(excinfo.value)
+        assert "version 3" in message
+        assert "supported: 1, 2" in message
+        assert "upgrade" in message
+
+    def test_missing_version_rejected(self):
+        with pytest.raises(SerializationError):
+            index_from_json({"format": "treepi-index"})
+
+    def test_unknown_write_version_rejected(self, small_index):
+        with pytest.raises(SerializationError):
+            index_to_json(small_index, version=7)
+
     def test_invalid_json_file(self, tmp_path):
         path = tmp_path / "bad.json"
         path.write_text("{nope")
         with pytest.raises(SerializationError):
             load_index(path)
+
+
+@pytest.fixture(scope="module")
+def small_index():
+    from repro.datasets import generate_aids_like
+
+    db = generate_aids_like(10, avg_atoms=10, seed=17)
+    return TreePiIndex.build(
+        db, TreePiConfig(SupportFunction(2, 2.0, 4), gamma=1.1, seed=3)
+    )
+
+
+class TestVersionNegotiation:
+    """v1 documents load; v2 is the default dialect; the two interconvert."""
+
+    def test_default_save_is_v2(self, small_index):
+        assert index_to_json(small_index)["version"] == 2
+
+    def test_v1_dialect_still_writable_and_loadable(self, small_index):
+        doc = index_to_json(small_index, version=1)
+        assert doc["version"] == 1
+        assert "labels" not in doc
+        restored = index_from_json(doc)
+        assert restored.feature_count() == small_index.feature_count()
+
+    def test_v1_load_answers_identically(self, small_index):
+        restored = index_from_json(index_to_json(small_index, version=1))
+        for query in extract_query_workload(small_index.database, 4, 6, seed=9):
+            assert (
+                restored.query(query).matches == small_index.query(query).matches
+            )
+
+    def test_v1_load_then_v2_save_roundtrip(self, small_index):
+        """The upgrade path: load a legacy document, re-save as v2."""
+        legacy = index_from_json(index_to_json(small_index, version=1))
+        upgraded = index_from_json(index_to_json(legacy, version=2))
+        assert upgraded.feature_count() == small_index.feature_count()
+        for original in small_index.features:
+            twin = upgraded.feature_by_key(original.key)
+            assert twin is not None
+            assert twin.center == original.center
+            assert twin.locations == original.locations
+        for query in extract_query_workload(small_index.database, 4, 6, seed=4):
+            assert (
+                upgraded.query(query).matches == small_index.query(query).matches
+            )
+
+    def test_v2_document_is_deterministic(self, small_index):
+        a = json.dumps(index_to_json(small_index), sort_keys=True)
+        b = json.dumps(index_to_json(small_index), sort_keys=True)
+        assert a == b
+
+    def test_v2_smaller_than_v1(self, small_index):
+        v1 = len(json.dumps(index_to_json(small_index, version=1)))
+        v2 = len(json.dumps(index_to_json(small_index, version=2)))
+        assert v2 < v1
+
+    def test_v2_file_roundtrip(self, small_index, tmp_path):
+        path = tmp_path / "index_v2.json"
+        save_index(small_index, path)
+        assert json.loads(path.read_text())["version"] == 2
+        restored = load_index(path)
+        assert restored.feature_count() == small_index.feature_count()
+
+    def test_malformed_v2_occurrence_columns(self, small_index):
+        doc = index_to_json(small_index)
+        doc["features"][0]["occ"]["offsets"] = [0]
+        with pytest.raises(SerializationError):
+            index_from_json(doc)

@@ -11,6 +11,7 @@ PACKAGES = [
     "repro.trees",
     "repro.mining",
     "repro.core",
+    "repro.storage",
     "repro.baselines",
     "repro.datasets",
     "repro.directed",
