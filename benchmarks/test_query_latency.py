@@ -1,0 +1,135 @@
+"""Query-latency tail bench: deadline vs unbounded on an adversarial query.
+
+Runs one adversarial subgraph query — an odd cycle against single-label
+bipartite grids, where the matcher must exhaust a huge path space to
+prove non-containment — repeatedly through a :class:`QueryEngine`, with
+and without a wall-clock deadline, and records p50/p95/p99 latency per
+pipeline stage (``lookup``/``partition``/``filter``/``center_prune``/
+``verification``) plus end-to-end.
+
+Emits ``bench_results/BENCH_query_latency.json`` (uploaded as a CI
+artifact).  The headline numbers: the unbounded p99 shows the worst case
+a deadline exists to bound; the deadline p99 must sit near the
+configured deadline while every degraded result stays sound.
+"""
+
+import json
+import statistics
+import time
+
+from repro.bench import output_dir
+from repro.core import QueryBudget, QueryEngine, TreePiConfig, TreePiIndex
+from repro.graphs import GraphDatabase, LabeledGraph
+from repro.mining import SupportFunction
+
+DEADLINE_MS = 50.0
+ROUNDS_BY_SCALE = {"tiny": 7, "small": 20, "medium": 50}
+
+
+def _grid(m, n):
+    verts = ["a"] * (m * n)
+    edges = []
+    for r in range(m):
+        for c in range(n):
+            v = r * n + c
+            if c + 1 < n:
+                edges.append((v, v + 1, 1))
+            if r + 1 < m:
+                edges.append((v, v + n, 1))
+    return LabeledGraph(verts, edges)
+
+
+def _odd_cycle(k):
+    return LabeledGraph(["a"] * k, [(i, (i + 1) % k, 1) for i in range(k)])
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+
+    def pick(q):
+        if not ordered:
+            return 0.0
+        idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    return {
+        "p50": round(statistics.median(ordered), 3),
+        "p95": round(pick(0.95), 3),
+        "p99": round(pick(0.99), 3),
+        "max": round(ordered[-1], 3),
+    }
+
+
+def _run_mode(engine, query, rounds, budget=None):
+    totals, degraded = [], 0
+    stages = {}
+    for _ in range(rounds):
+        t0 = time.perf_counter()
+        result = engine.query(query, budget=budget)
+        totals.append((time.perf_counter() - t0) * 1000.0)
+        assert result.matches == frozenset()  # no odd cycle fits a grid
+        if not result.complete:
+            degraded += 1
+        for stage, seconds in result.phase_seconds.items():
+            stages.setdefault(stage, []).append(seconds * 1000.0)
+    return {
+        "rounds": rounds,
+        "degraded": degraded,
+        "total_ms": _percentiles(totals),
+        "stage_ms": {
+            stage: _percentiles(samples)
+            for stage, samples in sorted(stages.items())
+        },
+    }
+
+
+def test_query_latency_tail(scale):
+    rounds = ROUNDS_BY_SCALE.get(scale.name, 20)
+    db = GraphDatabase([_grid(6, 6) for _ in range(4)])
+    config = TreePiConfig(
+        SupportFunction(1, 2.0, 2),
+        gamma=1.1,
+        direct_verification_max_edges=20,
+        seed=5,
+    )
+    query = _odd_cycle(9)
+    # cache_size=0: every round must pay the full pipeline, and degraded
+    # results are never cached anyway — keep the two modes comparable.
+    engine = QueryEngine(TreePiIndex.build(db, config), cache_size=0)
+
+    unbounded = _run_mode(engine, query, rounds)
+    bounded = _run_mode(
+        engine, query, rounds, budget=QueryBudget(deadline_ms=DEADLINE_MS)
+    )
+
+    # The deadline's contract, enforced here so a regression fails CI:
+    # every bounded round degrades (the instance is adversarial) and the
+    # bounded tail stays within 5x the deadline.
+    assert bounded["degraded"] == rounds
+    assert bounded["total_ms"]["p99"] < 5 * DEADLINE_MS
+
+    report = {
+        "bench": "query_latency",
+        "scale": scale.name,
+        "deadline_ms": DEADLINE_MS,
+        "query": "C9 odd cycle vs 4x single-label 6x6 grids",
+        "no_deadline": unbounded,
+        "deadline": bounded,
+        "engine_stats": {
+            "timeouts": engine.stats.timeouts,
+            "degraded_results": engine.stats.degraded_results,
+            "unresolved_candidates": engine.stats.unresolved_candidates,
+        },
+    }
+    out = output_dir() / "BENCH_query_latency.json"
+    out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"\nquery latency tail ({rounds} rounds, deadline {DEADLINE_MS}ms)")
+    for mode in ("no_deadline", "deadline"):
+        tail = report[mode]["total_ms"]
+        print(
+            f"  {mode:>11}: p50 {tail['p50']:8.2f}ms  "
+            f"p95 {tail['p95']:8.2f}ms  p99 {tail['p99']:8.2f}ms  "
+            f"({report[mode]['degraded']}/{rounds} degraded)"
+        )
+    print(f"  wrote {out}")

@@ -20,12 +20,14 @@ from repro.core import (
     EngineStats,
     FeatureTree,
     IndexStats,
+    QueryBudget,
     QueryEngine,
     QueryResult,
     TreePiConfig,
     TreePiIndex,
 )
 from repro.exceptions import (
+    BudgetExceeded,
     ConfigError,
     GraphError,
     IndexError_,
@@ -44,10 +46,12 @@ __all__ = [
     "EngineStats",
     "FeatureTree",
     "IndexStats",
+    "QueryBudget",
     "QueryEngine",
     "QueryResult",
     "TreePiConfig",
     "TreePiIndex",
+    "BudgetExceeded",
     "ConfigError",
     "GraphError",
     "IndexError_",

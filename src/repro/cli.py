@@ -10,7 +10,8 @@ Commands
 ``query``     run query graphs (gSpan file) against a saved index through
               a :class:`repro.core.engine.QueryEngine` (``--cache-size``
               memoizes isomorphic queries, ``--workers`` parallelizes
-              candidate verification),
+              candidate verification, ``--deadline-ms``/``--verify-budget``
+              bound each query and degrade gracefully on expiry),
 ``info``      summarize a saved index,
 ``bench``     run one of the paper-figure experiments and print its table.
 
@@ -31,7 +32,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.core import QueryEngine, TreePiConfig, TreePiIndex
+from repro.core import QueryBudget, QueryEngine, TreePiConfig, TreePiIndex
 from repro.datasets import (
     extract_query_workload,
     generate_aids_like,
@@ -102,16 +103,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
     engine = QueryEngine(
         index, cache_size=args.cache_size, verify_workers=args.workers
     )
+    budget = None
+    if args.deadline_ms is not None or args.verify_budget is not None:
+        budget = QueryBudget(
+            deadline_ms=args.deadline_ms, verify_steps=args.verify_budget
+        )
     queries = load_database(args.queries)
     total = 0.0
+    degraded = 0
     for gid in queries.graph_ids():
         query = queries[gid]
         start = time.perf_counter()
-        result = engine.query(query)
+        result = engine.query(query, budget=budget)
         elapsed = (time.perf_counter() - start) * 1000
         total += elapsed
         matches = ",".join(map(str, sorted(result.matches))) or "-"
         line = f"query {gid}: {len(result.matches)} matches [{matches}]"
+        if not result.complete:
+            degraded += 1
+            line += (
+                f"  DEGRADED ({result.degraded_reason}: "
+                f"{len(result.unresolved)} unresolved)"
+            )
         if args.stats:
             line += (
                 f"  |TPq|={result.partition_size}"
@@ -122,6 +135,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
             )
         print(line)
     print(f"total query time: {total:.2f}ms over {len(queries)} queries")
+    if degraded:
+        print(
+            f"{degraded} degraded result(s): matches are sound but "
+            "incomplete; retry with a larger --deadline-ms/--verify-budget"
+        )
     if args.stats:
         stats = engine.stats
         print(
@@ -129,6 +147,13 @@ def _cmd_query(args: argparse.Namespace) -> int:
             f"{stats.candidates_pruned} candidates pruned, "
             f"{stats.verifications_run} verifications"
         )
+        if budget is not None:
+            print(
+                f"budget: {stats.timeouts} timeouts, "
+                f"{stats.degraded_results} degraded results, "
+                f"{stats.unresolved_candidates} unresolved candidates, "
+                f"{stats.prune_exhausted} prune-budget exhaustions"
+            )
     return 0
 
 
@@ -247,6 +272,17 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument(
         "--workers", type=int, default=1,
         help="thread-pool width for candidate verification",
+    )
+    query.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-query wall-clock deadline; on expiry the query returns a "
+             "degraded-but-sound result (matches verified so far, flagged "
+             "DEGRADED) instead of running unboundedly",
+    )
+    query.add_argument(
+        "--verify-budget", type=int, default=None,
+        help="cap on verification work units per query (machine-independent "
+             "twin of --deadline-ms; same degradation contract)",
     )
     query.set_defaults(func=_cmd_query)
 

@@ -1,9 +1,13 @@
 """TreePi core: features, partitioning, filtering, pruning, verification."""
 
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.center_prune import (
     CenterConstraintProblem,
+    PruneDecision,
+    PruneReport,
     center_assignments,
     center_prune,
+    check_center_constraints,
     satisfies_center_constraints,
 )
 from repro.core.crf import (
@@ -28,9 +32,14 @@ from repro.core.trie import StringTrie
 from repro.core.verification import VerificationStats, verify_candidate
 
 __all__ = [
+    "CancellationToken",
+    "QueryBudget",
     "CenterConstraintProblem",
+    "PruneDecision",
+    "PruneReport",
     "center_assignments",
     "center_prune",
+    "check_center_constraints",
     "satisfies_center_constraints",
     "canonical_reconstruction_form",
     "overlap_signature",

@@ -15,10 +15,12 @@ have no unique center, so gIndex cannot prune this way.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.core.budget import CancellationToken
 from repro.core.feature import FeatureTree
+from repro.exceptions import ConfigError
 from repro.core.partition import Partition, QueryPiece
 from repro.graphs.distances import DistanceOracle
 from repro.graphs.graph import LabeledGraph
@@ -105,25 +107,47 @@ def center_assignments(
     yield from backtrack(0)
 
 
-def satisfies_center_constraints(
+@dataclass(frozen=True)
+class PruneDecision:
+    """The explicit outcome of one per-graph center-constraint test.
+
+    ``keep`` is the pruning decision (``True`` = the graph survives into
+    ``P'_q``); ``exhausted`` records *why* a kept graph was kept: a
+    refuted graph (``keep=False``) was proven to admit no assignment, a
+    satisfied graph (``keep=True, exhausted=False``) was proven to admit
+    one, and an exhausted graph (``keep=True, exhausted=True``) ran out
+    of budget before either proof and is kept because giving up pruning
+    is sound.  The pre-fix code collapsed the last two (and its terminal
+    ``checks > budget`` return was unreachable), so callers could not
+    tell a real survivor from a budget timeout.
+    """
+
+    keep: bool
+    exhausted: bool = False
+    checks: int = 0  # distance checks actually spent
+
+
+def check_center_constraints(
     problem: CenterConstraintProblem,
     graph: LabeledGraph,
     graph_id: int,
     oracle: Optional[DistanceOracle] = None,
     budget: Optional[int] = None,
-) -> bool:
-    """Algorithm 2's per-graph test: does any valid assignment exist?
+    token: Optional[CancellationToken] = None,
+) -> PruneDecision:
+    """Algorithm 2's per-graph test, with an explicit three-way outcome.
 
-    ``budget`` optionally caps the number of pairwise distance checks;
-    when exhausted the graph is *kept* (pruning is a sound-to-skip
-    optimization), bounding worst-case prune latency on graphs with huge
-    center-assignment spaces.
+    ``budget`` caps the number of pairwise distance checks (``None`` =
+    unbounded; ``0`` = no checks allowed, so any graph that would need
+    one is immediately *exhausted* and kept; negative values raise
+    :class:`~repro.exceptions.ConfigError`).  ``token`` is the per-query
+    cancellation token: an expired deadline behaves exactly like an
+    exhausted budget — stop checking, keep the graph — so pruning never
+    raises and never loses soundness.  A graph missing some feature
+    outright is refuted for free, before any budget is spent.
     """
-    if budget is None:
-        for _ in center_assignments(problem, graph, graph_id, oracle):
-            return True
-        return False
-
+    if budget is not None and budget < 0:
+        raise ConfigError(f"center-prune budget must be >= 0 or None, got {budget}")
     if oracle is None:
         oracle = DistanceOracle(graph)
     m = len(problem.pieces)
@@ -131,13 +155,23 @@ def satisfies_center_constraints(
     for feature in problem.features:
         centers = feature.centers_in(graph_id)
         if not centers:
-            return False
+            return PruneDecision(keep=False)
         location_lists.append(sorted(centers))
     order = sorted(range(m), key=lambda i: len(location_lists[i]))
     assignment: List[Optional[Center]] = [None] * m
     checks = 0
+    exhausted = False
+
+    def out_of_budget() -> bool:
+        nonlocal exhausted
+        if budget is not None and checks >= budget:
+            exhausted = True
+        elif token is not None and token.expired_now():
+            exhausted = True
+        return exhausted
 
     def backtrack(pos: int) -> bool:
+        """True = a full assignment exists *or* the budget ran out."""
         nonlocal checks
         if pos == m:
             return True
@@ -145,9 +179,9 @@ def satisfies_center_constraints(
         for center in location_lists[i]:
             ok = True
             for prev in order[:pos]:
-                checks += 1
-                if checks > budget:
+                if out_of_budget():
                     return True  # give up pruning: keep the graph
+                checks += 1
                 if oracle.set_distance(center, assignment[prev]) > (
                     problem.distances[i][prev]
                 ):
@@ -158,10 +192,52 @@ def satisfies_center_constraints(
                 if backtrack(pos + 1):
                     return True
                 assignment[i] = None
-        # A zero-piece prefix exhausting means genuinely no assignment.
-        return checks > budget
+        # Every center of this piece was refuted within budget.
+        return False
 
-    return backtrack(0)
+    keep = backtrack(0)
+    return PruneDecision(keep=keep, exhausted=exhausted, checks=checks)
+
+
+def satisfies_center_constraints(
+    problem: CenterConstraintProblem,
+    graph: LabeledGraph,
+    graph_id: int,
+    oracle: Optional[DistanceOracle] = None,
+    budget: Optional[int] = None,
+) -> bool:
+    """Algorithm 2's per-graph test: does any valid assignment exist?
+
+    Boolean façade over :func:`check_center_constraints` — an exhausted
+    budget answers ``True`` (the graph is kept; pruning is a sound-to-
+    skip optimization).  Callers that need to distinguish a proven
+    survivor from a budget timeout should use the richer form.
+    """
+    return check_center_constraints(
+        problem, graph, graph_id, oracle, budget=budget
+    ).keep
+
+
+@dataclass
+class PruneReport:
+    """What Algorithm 2 did to one candidate set, exhaustion made visible.
+
+    ``survivors`` is ``P'_q``; ``exhausted`` counts survivors kept only
+    because their per-graph budget (or the query deadline) ran out
+    before a proof either way, ``refuted`` counts graphs actually pruned,
+    and ``skipped`` counts candidates never examined because the query
+    deadline expired mid-prune (they are kept — a superset is sound).
+    """
+
+    survivors: List[int] = field(default_factory=list)
+    exhausted: int = 0
+    refuted: int = 0
+    skipped: int = 0
+
+    @property
+    def degraded(self) -> bool:
+        """Did any candidate dodge a full constraint check?"""
+        return self.exhausted > 0 or self.skipped > 0
 
 
 def center_prune(
@@ -170,16 +246,24 @@ def center_prune(
     graphs: Dict[int, LabeledGraph],
     oracles: Optional[Dict[int, DistanceOracle]] = None,
     budget_per_graph: Optional[int] = None,
-) -> List[int]:
+    token: Optional[CancellationToken] = None,
+) -> PruneReport:
     """Algorithm 2: reduce the filtered set ``P_q`` to ``P'_q``.
 
     ``oracles`` optionally supplies/receives per-graph distance oracles so
     BFS levels persist across queries (the index owns this cache);
-    ``budget_per_graph`` bounds per-graph pruning work (see
-    :func:`satisfies_center_constraints`).
+    ``budget_per_graph`` bounds per-graph pruning work and ``token``
+    bounds the whole pass (see :func:`check_center_constraints`) — on
+    deadline expiry the remaining candidates are kept unexamined, so a
+    budgeted prune always returns a superset of the exact ``P'_q``.
     """
-    survivors: List[int] = []
-    for gid in candidates:
+    report = PruneReport()
+    for pos, gid in enumerate(candidates):
+        if token is not None and token.expired_now():
+            remaining = list(candidates[pos:])
+            report.survivors.extend(remaining)
+            report.skipped += len(remaining)
+            break
         graph = graphs[gid]
         oracle = None
         if oracles is not None:
@@ -187,8 +271,13 @@ def center_prune(
             if oracle is None:
                 oracle = DistanceOracle(graph)
                 oracles[gid] = oracle
-        if satisfies_center_constraints(
-            problem, graph, gid, oracle, budget=budget_per_graph
-        ):
-            survivors.append(gid)
-    return survivors
+        decision = check_center_constraints(
+            problem, graph, gid, oracle, budget=budget_per_graph, token=token
+        )
+        if decision.keep:
+            report.survivors.append(gid)
+            if decision.exhausted:
+                report.exhausted += 1
+        else:
+            report.refuted += 1
+    return report

@@ -22,11 +22,19 @@ serving layer:
 * **Observability.**  Per-stage counters (:class:`EngineStats`) are kept
   under the engine lock and surfaced through the wrapped index's
   :class:`~repro.core.statistics.IndexStats` as ``stats.engine``.
+* **Deadlines.**  :meth:`query`/:meth:`query_batch` accept a
+  :class:`~repro.core.budget.QueryBudget`; on expiry the call returns
+  *degraded but sound* results — verified matches found so far plus the
+  unresolved candidate ids, flagged ``complete=False`` and never cached
+  — instead of letting one adversarial verification hold the read lock
+  unboundedly (which, with a writer-preferring RW lock, would freeze
+  every other caller behind a waiting writer).
 
-The engine never changes answers: every result is exactly what the
-wrapped :meth:`TreePiIndex.query` would return (the differential suite in
-``tests/differential`` locks this down against the scan and gIndex
-oracles).
+The engine never changes answers: every *complete* result is exactly what
+the wrapped :meth:`TreePiIndex.query` would return (the differential
+suite in ``tests/differential`` locks this down against the scan and
+gIndex oracles), and a degraded result's ``matches``/``unresolved`` pair
+brackets that exact answer.
 """
 
 from __future__ import annotations
@@ -36,13 +44,15 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import contextmanager
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.guards import TrackedLock, guarded_by, note_acquire, note_release
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.statistics import EngineStats, QueryResult
 from repro.core.treepi import QueryPlan, TreePiIndex
 from repro.core.verification import VerificationStats
-from repro.exceptions import IndexError_
+from repro.exceptions import BudgetExceeded, IndexError_
 from repro.graphs.canonical import canonical_label
 from repro.graphs.graph import LabeledGraph
 from repro.trees.canonical import tree_canonical_string
@@ -111,6 +121,23 @@ class _ReadWriteLock:
                 self._writer_active = False
                 self._cond.notify_all()
             note_release(self)
+
+
+@dataclass
+class _PlanOutcome:
+    """Per-plan verification attribution (one plan's own work, no sharing).
+
+    ``elapsed`` is the sum of the plan's own task durations — on a pooled
+    batch that is the plan's *attributed* verification cost, independent
+    of how many other plans shared the pool (the pre-fix code charged
+    every plan the batch-wide wall time and one shared counter record).
+    """
+
+    matches: FrozenSet[int] = frozenset()
+    vstats: VerificationStats = field(default_factory=VerificationStats)
+    elapsed: float = 0.0
+    matched: Set[int] = field(default_factory=set)
+    unresolved: List[int] = field(default_factory=list)
 
 
 class _LRUCache:
@@ -231,24 +258,45 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # querying
     # ------------------------------------------------------------------
-    def query(self, query: LabeledGraph) -> QueryResult:
-        """Answer one query, serving from cache when possible."""
+    def query(
+        self, query: LabeledGraph, budget: Optional[QueryBudget] = None
+    ) -> QueryResult:
+        """Answer one query, serving from cache when possible.
+
+        ``budget`` bounds the call (deadline and/or work caps); on expiry
+        a degraded-but-sound result comes back (``complete=False``, never
+        cached — see :mod:`repro.core.budget`).  A cached *complete*
+        result may serve a budgeted call: it is exact, which is strictly
+        better than the degradation contract requires.
+        """
         key = query_cache_key(query)
         cached, generation = self._cache_lookup(key)
         if cached is not None:
             return cached
+        token = budget.start() if budget is not None else None
         with self._rw.read_locked():
-            result = self._execute(query)
+            result = self._execute(query, token=token, budget=budget)
+        self._count_degradation([result], token)
         self._cache_store(key, result, generation)
         return result
 
-    def query_batch(self, queries: Sequence[LabeledGraph]) -> List[QueryResult]:
+    def query_batch(
+        self,
+        queries: Sequence[LabeledGraph],
+        budget: Optional[QueryBudget] = None,
+    ) -> List[QueryResult]:
         """Answer many queries at once.
 
         Isomorphic duplicates are detected by canonical label and computed
         once; the verification work of every distinct uncached query is
         flattened into independent (query, candidate) tasks and run on a
         single thread pool.
+
+        ``budget`` bounds the *call*: the whole batch shares one deadline
+        clock and one work cap.  Members the budget could not finish come
+        back individually flagged ``complete=False`` with their own
+        unresolved candidate lists — retry just those stragglers with a
+        fresh budget (they were never cached, so a retry recomputes).
         """
         keys = [query_cache_key(q) for q in queries]
         resolved: Dict[str, QueryResult] = {}
@@ -272,8 +320,12 @@ class QueryEngine:
                     self._counters.cache_misses += 1
                     pending.append((key, query))
         if pending:
+            token = budget.start() if budget is not None else None
             with self._rw.read_locked():
-                computed = self._execute_batch([q for _, q in pending])
+                computed = self._execute_batch(
+                    [q for _, q in pending], token=token, budget=budget
+                )
+            self._count_degradation(computed, token)
             for (key, _), result in zip(pending, computed):
                 resolved[key] = result
                 self._cache_store(key, result, generation)
@@ -346,7 +398,15 @@ class QueryEngine:
     def _cache_store(
         self, key: str, result: QueryResult, generation: int
     ) -> None:
-        """Memoize ``result`` unless the index changed since it started."""
+        """Memoize ``result`` unless the index changed since it started.
+
+        Degraded results (``complete=False``) are *never* stored: their
+        answer depends on the budget that produced them, and caching one
+        would let a timeout masquerade as the exact answer for every
+        later (possibly unbudgeted) isomorphic query.
+        """
+        if not result.complete:
+            return
         with self._mutex:
             if self._generation == generation:
                 self._cache.put(key, result)
@@ -373,41 +433,66 @@ class QueryEngine:
                 plan.survivors
             )
             self._counters.verifications_run += len(plan.survivors)
+            self._counters.prune_exhausted += plan.prune_exhausted
+
+    def _count_degradation(
+        self,
+        results: Sequence[QueryResult],
+        token: Optional[CancellationToken],
+    ) -> None:
+        """Fold one budgeted call's degradation into the engine counters."""
+        if token is None:
+            return
+        expired = token.expired
+        degraded = [r for r in results if not r.complete]
+        if not expired and not degraded:
+            return
+        with self._mutex:
+            if expired:
+                self._counters.timeouts += 1
+            self._counters.degraded_results += len(degraded)
+            self._counters.unresolved_candidates += sum(
+                len(r.unresolved) for r in degraded
+            )
 
     @guarded_by("_rw", mode="read")
-    def _execute(self, query: LabeledGraph) -> QueryResult:
+    def _execute(
+        self,
+        query: LabeledGraph,
+        token: Optional[CancellationToken] = None,
+        budget: Optional[QueryBudget] = None,
+    ) -> QueryResult:
         """Run one full pipeline (caller holds the read lock)."""
-        plan = self._index.plan(query)
+        plan = self._index.plan(query, token=token, budget=budget)
         if plan.result is not None:
             return plan.result
         self._count_pipeline(plan)
-        start = time.perf_counter()
-        vstats = VerificationStats()
-        if self._verify_workers > 1 and len(plan.survivors) > 1:
-            matches = self._verify_parallel([plan], vstats)[0]
-        else:
-            matches = frozenset(
-                gid
-                for gid in plan.survivors
-                if self._index.verify(plan, gid, vstats)
-            )
-        return self._index.finish(
-            plan, matches, vstats, time.perf_counter() - start
-        )
+        outcome = self._verify_plans([plan], token)[0]
+        return self._finish_plan(plan, outcome, token)
 
     @guarded_by("_rw", mode="read")
     def _execute_batch(
-        self, queries: Sequence[LabeledGraph]
+        self,
+        queries: Sequence[LabeledGraph],
+        token: Optional[CancellationToken] = None,
+        budget: Optional[QueryBudget] = None,
     ) -> List[QueryResult]:
-        """Run pipelines for distinct queries, pooling their verification."""
-        plans = [self._index.plan(query) for query in queries]
+        """Run pipelines for distinct queries, pooling their verification.
+
+        Verification counters and elapsed time are attributed *per plan*
+        (each plan's own ``VerificationStats`` and the summed durations of
+        its own tasks), so every member's :class:`QueryResult` reports
+        exactly what :meth:`query` would have reported for it alone —
+        pooling changes wall-clock, never attribution.
+        """
+        plans = [
+            self._index.plan(query, token=token, budget=budget)
+            for query in queries
+        ]
         open_plans = [plan for plan in plans if plan.result is None]
         for plan in open_plans:
             self._count_pipeline(plan)
-        start = time.perf_counter()
-        vstats = VerificationStats()
-        match_sets = self._verify_parallel(open_plans, vstats)
-        elapsed = time.perf_counter() - start
+        outcomes = self._verify_plans(open_plans, token)
         results: List[QueryResult] = []
         open_index = 0
         for plan in plans:
@@ -415,22 +500,40 @@ class QueryEngine:
                 results.append(plan.result)
             else:
                 results.append(
-                    self._index.finish(
-                        plan, match_sets[open_index], vstats, elapsed
-                    )
+                    self._finish_plan(plan, outcomes[open_index], token)
                 )
                 open_index += 1
         return results
 
+    def _finish_plan(
+        self,
+        plan: QueryPlan,
+        outcome: "_PlanOutcome",
+        token: Optional[CancellationToken],
+    ) -> QueryResult:
+        return self._index.finish(
+            plan,
+            outcome.matches,
+            outcome.vstats,
+            outcome.elapsed,
+            unresolved=outcome.unresolved,
+            degraded_reason=token.reason if token is not None else None,
+        )
+
     @guarded_by("_rw", mode="read")
-    def _verify_parallel(
-        self, plans: List[QueryPlan], vstats: VerificationStats
-    ) -> List[FrozenSet[int]]:
+    def _verify_plans(
+        self, plans: List[QueryPlan], token: Optional[CancellationToken] = None
+    ) -> List["_PlanOutcome"]:
         """Verify the survivors of every plan, fanning out when configured.
 
         Tasks are independent ``(plan, candidate)`` pairs; each worker
-        keeps private verification counters that are merged at the end, so
-        the totals match a serial run exactly.
+        keeps private verification counters and times its own task, and
+        both are merged back *into the owning plan's outcome*, so each
+        plan's totals match a serial run of that plan exactly regardless
+        of batching or pool width.  A task cut short by the budget
+        (:class:`~repro.exceptions.BudgetExceeded`) marks its candidate
+        unresolved; once the shared token expires, the remaining queued
+        tasks short-circuit at their first checkpoint.
         """
         tasks: List[Tuple[int, int]] = [
             (plan_idx, gid)
@@ -438,24 +541,36 @@ class QueryEngine:
             for gid in plan.survivors
         ]
 
-        def run_one(task: Tuple[int, int]) -> Tuple[int, int, bool, VerificationStats]:
+        def run_one(
+            task: Tuple[int, int]
+        ) -> Tuple[int, int, Optional[bool], VerificationStats, float]:
             plan_idx, gid = task
             local = VerificationStats()
-            ok = self._index.verify(plans[plan_idx], gid, local)
-            return plan_idx, gid, ok, local
+            t0 = time.perf_counter()
+            ok: Optional[bool]
+            try:
+                ok = self._index.verify(
+                    plans[plan_idx], gid, local, token=token
+                )
+            except BudgetExceeded:
+                ok = None  # unresolved: neither matched nor rejected
+            return plan_idx, gid, ok, local, time.perf_counter() - t0
 
         if self._verify_workers > 1 and len(tasks) > 1:
             with ThreadPoolExecutor(max_workers=self._verify_workers) as pool:
-                outcomes = list(pool.map(run_one, tasks))
+                raw = list(pool.map(run_one, tasks))
         else:
-            outcomes = [run_one(task) for task in tasks]
+            raw = [run_one(task) for task in tasks]
 
-        matched: Dict[int, Set[int]] = {}
-        for plan_idx, gid, ok, local in outcomes:
-            vstats.merge(local)
-            if ok:
-                matched.setdefault(plan_idx, set()).add(gid)
-        return [
-            frozenset(matched.get(plan_idx, set()))
-            for plan_idx in range(len(plans))
-        ]
+        outcomes = [_PlanOutcome() for _ in plans]
+        for plan_idx, gid, ok, local, seconds in raw:
+            outcome = outcomes[plan_idx]
+            outcome.vstats.merge(local)
+            outcome.elapsed += seconds
+            if ok is None:
+                outcome.unresolved.append(gid)
+            elif ok:
+                outcome.matched.add(gid)
+        for outcome in outcomes:
+            outcome.matches = frozenset(outcome.matched)
+        return outcomes

@@ -27,6 +27,16 @@ class EngineStats:
     ``stats.engine`` so the same record that describes the build also
     surfaces query-serving behavior; it is runtime-only state and is
     never persisted.
+
+    The timeout counters describe graceful degradation under
+    :class:`~repro.core.budget.QueryBudget`: ``timeouts`` counts calls
+    whose deadline or work cap expired mid-pipeline, ``degraded_results``
+    counts the ``complete=False`` answers handed back (one budgeted batch
+    can produce several), ``unresolved_candidates`` sums the candidate
+    ids those answers left unverified, and ``prune_exhausted`` counts
+    candidates that survived center pruning only because the per-graph
+    check budget ran out (kept-by-exhaustion, not proven-satisfiable).
+    All four stay zero on unbudgeted traffic.
     """
 
     queries: int = 0                 # every query() / query_batch() member
@@ -41,6 +51,11 @@ class EngineStats:
     inserts: int = 0
     deletes: int = 0
     rebuilds: int = 0
+    # --- deadline / degradation counters (budgeted calls only) ---------
+    timeouts: int = 0                # budgets that expired mid-pipeline
+    degraded_results: int = 0        # results returned with complete=False
+    unresolved_candidates: int = 0   # candidates left unverified on expiry
+    prune_exhausted: int = 0         # candidates kept on prune-budget exhaustion
 
     def snapshot(self) -> "EngineStats":
         """An independent copy (safe to keep across further queries)."""
@@ -68,7 +83,19 @@ class IndexStats:
 
 @dataclass
 class QueryResult:
-    """The answer to one graph query plus the paper's per-phase metrics."""
+    """The answer to one graph query plus the paper's per-phase metrics.
+
+    A result computed under an expired :class:`~repro.core.budget.
+    QueryBudget` is *degraded but sound*: ``complete`` is ``False``,
+    ``matches`` holds only candidates verified before expiry (every one
+    is a true match), and ``unresolved`` holds the candidate ids the
+    pipeline never resolved — the exact answer is always a superset of
+    ``matches`` and a subset of ``matches | unresolved``.  Degraded
+    results are never cached by the engine; retry with a fresh budget to
+    resolve the remainder.  ``prune_exhausted`` counts candidates kept
+    by center-prune budget exhaustion rather than a satisfiability proof
+    (they may still be resolved exactly by verification).
+    """
 
     matches: FrozenSet[int]
     direct_hit: bool = False
@@ -78,6 +105,10 @@ class QueryResult:
     candidates_after_prune: int = 0    # |P'_q|
     phase_seconds: Dict[str, float] = field(default_factory=dict)
     verification: VerificationStats = field(default_factory=VerificationStats)
+    complete: bool = True              # False => budget expired mid-query
+    unresolved: FrozenSet[int] = frozenset()  # candidates never resolved
+    degraded_reason: Optional[str] = None     # "deadline" / "verify-budget"
+    prune_exhausted: int = 0           # survivors kept by exhausted prune budget
 
     @property
     def support(self) -> int:

@@ -20,9 +20,10 @@ import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.guards import guarded_by
+from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.center_prune import CenterConstraintProblem, center_prune
 from repro.core.feature import FeatureTree
 from repro.core.filtering import filter_candidates
@@ -30,7 +31,7 @@ from repro.core.partition import run_partitions
 from repro.core.statistics import IndexStats, QueryResult
 from repro.core.trie import StringTrie
 from repro.core.verification import VerificationStats, verify_candidate
-from repro.exceptions import GraphError, IndexError_
+from repro.exceptions import BudgetExceeded, GraphError, IndexError_
 from repro.graphs.distances import DistanceOracle
 from repro.graphs.graph import GraphDatabase, LabeledGraph
 from repro.graphs.isomorphism import is_subgraph_isomorphic, subgraph_monomorphisms
@@ -171,6 +172,9 @@ class QueryPlan:
     sfq_size: int = 0
     candidates_after_filter: int = 0
     phase_seconds: Dict[str, float] = field(default_factory=dict)
+    #: survivors kept because the center-prune budget/deadline ran out
+    #: before a proof either way (kept-by-exhaustion, still sound).
+    prune_exhausted: int = 0
 
 
 class TreePiIndex:
@@ -303,19 +307,46 @@ class TreePiIndex:
     # ------------------------------------------------------------------
     # query processing (Section 5)
     # ------------------------------------------------------------------
-    def query(self, query: LabeledGraph) -> QueryResult:
-        """Find ``D_q`` — all database graphs containing ``query``."""
-        plan = self.plan(query)
+    def query(
+        self, query: LabeledGraph, budget: Optional[QueryBudget] = None
+    ) -> QueryResult:
+        """Find ``D_q`` — all database graphs containing ``query``.
+
+        With a ``budget``, the pipeline degrades gracefully instead of
+        running unboundedly: on expiry the result carries the matches
+        verified so far plus the unresolved candidate ids and is flagged
+        ``complete=False`` (see :mod:`repro.core.budget`).  Without one
+        the behavior is byte-identical to the unbudgeted pipeline.
+        """
+        token = budget.start() if budget is not None else None
+        plan = self.plan(query, token=token, budget=budget)
         if plan.result is not None:
             return plan.result
         t0 = time.perf_counter()
         vstats = VerificationStats()
-        matches = frozenset(
-            gid for gid in plan.survivors if self.verify(plan, gid, vstats)
+        matches: Set[int] = set()
+        unresolved: List[int] = []
+        for gid in plan.survivors:
+            try:
+                if self.verify(plan, gid, vstats, token=token):
+                    matches.add(gid)
+            except BudgetExceeded:
+                unresolved.append(gid)
+        return self.finish(
+            plan,
+            frozenset(matches),
+            vstats,
+            time.perf_counter() - t0,
+            unresolved=unresolved,
+            degraded_reason=token.reason if token is not None else None,
         )
-        return self.finish(plan, matches, vstats, time.perf_counter() - t0)
 
-    def plan(self, query: LabeledGraph) -> "QueryPlan":
+    def plan(
+        self,
+        query: LabeledGraph,
+        token: Optional[CancellationToken] = None,
+        budget: Optional[QueryBudget] = None,
+    ) -> "QueryPlan":
         """Run partition / filter / prune, stopping short of verification.
 
         Returns a :class:`QueryPlan`; when the pipeline can already prove
@@ -324,6 +355,13 @@ class TreePiIndex:
         survivor list, otherwise the survivors still need :meth:`verify`.
         This staged form is what :class:`repro.core.engine.QueryEngine`
         uses to parallelize verification across candidates.
+
+        ``token`` bounds the center-pruning stage (partition and filter
+        are low-order polynomial and run to completion): when the
+        deadline expires mid-prune the remaining candidates are kept
+        unexamined, which only ever *grows* the survivor superset.
+        ``budget`` additionally overrides the per-graph prune-check cap
+        via :attr:`QueryBudget.prune_checks`.
         """
         if query.num_edges == 0:
             raise GraphError("query graphs must have at least one edge")
@@ -426,14 +464,21 @@ class TreePiIndex:
             query, run.best, self._lookup
         )
         candidates = sorted(outcome.candidates)
+        prune_exhausted = 0
         if self._config.enable_center_prune:
-            survivors = center_prune(
+            prune_budget = self._config.center_prune_budget
+            if budget is not None and budget.prune_checks is not None:
+                prune_budget = budget.prune_checks
+            report = center_prune(
                 problem,
                 candidates,
                 {gid: self._db[gid] for gid in candidates},
                 oracles=self._oracles,
-                budget_per_graph=self._config.center_prune_budget,
+                budget_per_graph=prune_budget,
+                token=token,
             )
+            survivors = report.survivors
+            prune_exhausted = report.exhausted + report.skipped
         else:
             survivors = candidates
         phases["center_prune"] = time.perf_counter() - t0
@@ -445,20 +490,28 @@ class TreePiIndex:
             sfq_size=run.sfq_size,
             candidates_after_filter=len(outcome.candidates),
             phase_seconds=phases,
+            prune_exhausted=prune_exhausted,
         )
 
     def verify(
-        self, plan: "QueryPlan", gid: int, vstats: VerificationStats
+        self,
+        plan: "QueryPlan",
+        gid: int,
+        vstats: VerificationStats,
+        token: Optional[CancellationToken] = None,
     ) -> bool:
         """Exactly test one surviving candidate of ``plan``.
 
         Safe to call concurrently from several threads for distinct
         candidates of the same plan as long as each caller passes its own
-        ``vstats`` (or tolerates racy counter increments).
+        ``vstats`` (or tolerates racy counter increments).  With a
+        ``token``, an expired budget unwinds the search with
+        :class:`~repro.exceptions.BudgetExceeded` — the candidate is then
+        *unresolved*, never silently matched or rejected.
         """
         query = plan.query
         if query.num_edges <= self._config.direct_verification_max_edges:
-            return is_subgraph_isomorphic(query, self._db[gid])
+            return is_subgraph_isomorphic(query, self._db[gid], token=token)
         assert plan.problem is not None
         return verify_candidate(
             query,
@@ -467,6 +520,7 @@ class TreePiIndex:
             gid,
             vstats,
             oracle=self._oracles.setdefault(gid, DistanceOracle(self._db[gid])),
+            token=token,
         )
 
     def finish(
@@ -475,8 +529,16 @@ class TreePiIndex:
         matches: frozenset,
         vstats: VerificationStats,
         verify_seconds: float,
+        unresolved: Sequence[int] = (),
+        degraded_reason: Optional[str] = None,
     ) -> QueryResult:
-        """Assemble the final :class:`QueryResult` for a verified plan."""
+        """Assemble the final :class:`QueryResult` for a verified plan.
+
+        ``unresolved`` lists survivors whose verification was cut short
+        by budget expiry; a non-empty list flags the result
+        ``complete=False`` (degraded but sound — ``matches`` holds only
+        exactly-verified graphs).
+        """
         phases = dict(plan.phase_seconds)
         phases["verification"] = verify_seconds
         return QueryResult(
@@ -487,6 +549,10 @@ class TreePiIndex:
             candidates_after_prune=len(plan.survivors),
             phase_seconds=phases,
             verification=vstats,
+            complete=not unresolved,
+            unresolved=frozenset(unresolved),
+            degraded_reason=degraded_reason if unresolved else None,
+            prune_exhausted=plan.prune_exhausted,
         )
 
     # ------------------------------------------------------------------

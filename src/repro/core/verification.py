@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.core.budget import CancellationToken
 from repro.core.center_prune import CenterConstraintProblem
 from repro.graphs.distances import DistanceOracle
 from repro.graphs.graph import LabeledGraph
@@ -108,14 +109,25 @@ def verify_candidate(
     graph_id: int,
     stats: Optional[VerificationStats] = None,
     oracle: Optional[DistanceOracle] = None,
+    token: Optional[CancellationToken] = None,
 ) -> bool:
     """Algorithm 3: is ``q ⊆ g``, reconstructing from anchored pieces?
 
     ``oracle`` optionally reuses a distance oracle (and its cached BFS
     levels) from the center-pruning pass or from previous queries.
+
+    ``token`` makes the reconstruction cooperative: the ``search``
+    recursion polls it on entry, each anchored-assignment trial charges
+    one work unit, and the piece-embedding enumerator charges per vertex
+    expansion, so an expired budget unwinds the whole recursion with
+    :class:`~repro.exceptions.BudgetExceeded` within a bounded number of
+    steps.  The caller treats such a candidate as *unresolved* — never
+    as a match or a non-match.
     """
     if stats is None:
         stats = VerificationStats()
+    if token is not None:
+        token.poll()
     pieces = problem.pieces
     m = len(pieces)
 
@@ -145,6 +157,8 @@ def verify_candidate(
         used: frozenset,
         placed_centers: List[Tuple[int, Center]],  # (piece index, center in g)
     ) -> bool:
+        if token is not None:
+            token.poll()
         if pos == m:
             return True
         boundary = tuple(
@@ -189,6 +203,8 @@ def verify_candidate(
             if not ok:
                 continue
             stats.assignments_tried += 1
+            if token is not None:
+                token.charge(1)
             for anchor in _anchor_seeds(piece.center, center):
                 seed = dict(overlap_seed)
                 conflict = False
@@ -200,7 +216,9 @@ def verify_candidate(
                     seed[pv] = gv
                 if conflict:
                     continue
-                for emb in subgraph_monomorphisms(piece.tree, graph, seed=seed):
+                for emb in subgraph_monomorphisms(
+                    piece.tree, graph, seed=seed, token=token
+                ):
                     stats.piece_embeddings_enumerated += 1
                     extended = dict(qmap)
                     new_used = set(used)

@@ -30,3 +30,22 @@ class IndexError_(ReproError):
 
 class ConfigError(ReproError):
     """Invalid parameter combination (e.g. a support function with eta < alpha)."""
+
+
+class BudgetExceeded(ReproError):
+    """A query's :class:`repro.core.budget.QueryBudget` ran out mid-pipeline.
+
+    Raised by cancellation-token checkpoints inside verification and the
+    monomorphism enumerator so deep recursions unwind cleanly.  The query
+    engine catches it and returns a *degraded but sound* result
+    (``complete=False``) instead of propagating; user code only sees this
+    exception when driving :func:`repro.core.verification.verify_candidate`
+    or the matcher directly with a token.
+
+    ``reason`` records which bound tripped (``"deadline"``,
+    ``"verify-budget"``, or an explicit cancellation reason).
+    """
+
+    def __init__(self, reason: str = "budget exceeded") -> None:
+        super().__init__(reason)
+        self.reason = reason

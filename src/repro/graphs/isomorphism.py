@@ -22,9 +22,12 @@ instead of the whole graph.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 from repro.graphs.graph import LabeledGraph
+
+if TYPE_CHECKING:  # runtime use is duck-typed to avoid a core<->graphs cycle
+    from repro.core.budget import CancellationToken
 
 
 def _matching_order(pattern: LabeledGraph, seeded: Tuple[int, ...]) -> List[int]:
@@ -54,6 +57,7 @@ def subgraph_monomorphisms(
     target: LabeledGraph,
     seed: Optional[Dict[int, int]] = None,
     limit: Optional[int] = None,
+    token: Optional["CancellationToken"] = None,
 ) -> Iterator[Dict[int, int]]:
     """Yield injective label-preserving maps of ``pattern`` into ``target``.
 
@@ -64,6 +68,14 @@ def subgraph_monomorphisms(
         yielded mapping must extend (center anchoring in verification).
     limit:
         Stop after this many embeddings.
+    token:
+        Optional :class:`~repro.core.budget.CancellationToken`.  The
+        backtracking search charges one work unit per candidate vertex
+        expansion (batched to ``token.CHECK_INTERVAL`` locked updates)
+        and unwinds with :class:`~repro.exceptions.BudgetExceeded` when
+        the budget runs out — the cooperative-cancellation hook that
+        bounds this otherwise NP-complete search.  ``None`` (the
+        default) leaves the search unbounded and the hot loop untouched.
 
     Yields fresh dictionaries; callers may keep or mutate them freely.
     """
@@ -153,15 +165,22 @@ def subgraph_monomorphisms(
         return True
 
     start = len(seed)
+    check_interval = token.CHECK_INTERVAL if token is not None else 0
+    pending_steps = 0
 
     def backtrack(i: int) -> Iterator[Dict[int, int]]:
-        nonlocal emitted
+        nonlocal emitted, pending_steps
         if i == pn:
             emitted += 1
             yield dict(mapping)
             return
         pv = order[i]
         for tv in candidates(i):
+            if token is not None:
+                pending_steps += 1
+                if pending_steps >= check_interval:
+                    token.charge(pending_steps)  # raises BudgetExceeded
+                    pending_steps = 0
             if not feasible(i, tv):
                 continue
             mapping[pv] = tv
@@ -175,9 +194,18 @@ def subgraph_monomorphisms(
     yield from backtrack(start)
 
 
-def is_subgraph_isomorphic(pattern: LabeledGraph, target: LabeledGraph) -> bool:
-    """``pattern ⊆ target`` in the sense of Definition 3."""
-    for _ in subgraph_monomorphisms(pattern, target, limit=1):
+def is_subgraph_isomorphic(
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    token: Optional["CancellationToken"] = None,
+) -> bool:
+    """``pattern ⊆ target`` in the sense of Definition 3.
+
+    ``token`` bounds the search (see :func:`subgraph_monomorphisms`);
+    expiry raises :class:`~repro.exceptions.BudgetExceeded` rather than
+    guessing an answer.
+    """
+    for _ in subgraph_monomorphisms(pattern, target, limit=1, token=token):
         return True
     return False
 

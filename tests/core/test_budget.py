@@ -1,0 +1,155 @@
+"""Unit tests for :mod:`repro.core.budget` — budgets, tokens, checkpoints."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.budget import CancellationToken, QueryBudget
+from repro.exceptions import BudgetExceeded, ConfigError
+from repro.graphs import LabeledGraph
+from repro.graphs.isomorphism import subgraph_monomorphisms
+
+
+# ----------------------------------------------------------------------
+# QueryBudget validation / zero semantics
+# ----------------------------------------------------------------------
+class TestQueryBudget:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"deadline_ms": -1},
+            {"verify_steps": -1},
+            {"prune_checks": -5},
+        ],
+    )
+    def test_negative_values_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            QueryBudget(**kwargs)
+
+    def test_unbounded_budget_issues_no_token(self):
+        assert QueryBudget().unbounded
+        assert QueryBudget().start() is None
+
+    def test_prune_checks_alone_issues_no_token(self):
+        # A pure parameter override has no cross-stage state to share.
+        budget = QueryBudget(prune_checks=100)
+        assert budget.unbounded
+        assert budget.start() is None
+
+    def test_zero_values_are_valid_and_mean_no_work(self):
+        token = QueryBudget(deadline_ms=0).start()
+        assert token is not None
+        assert token.expired_now()
+        with pytest.raises(BudgetExceeded) as exc:
+            token.poll()
+        assert exc.value.reason == "deadline"
+
+        token = QueryBudget(verify_steps=0).start()
+        with pytest.raises(BudgetExceeded) as exc:
+            token.charge(1)
+        assert exc.value.reason == "verify-budget"
+
+
+# ----------------------------------------------------------------------
+# CancellationToken
+# ----------------------------------------------------------------------
+class TestCancellationToken:
+    def test_live_token_polls_clean(self):
+        token = QueryBudget(deadline_ms=60_000, verify_steps=1000).start()
+        token.poll()
+        token.charge(10)
+        assert not token.expired
+        assert token.reason is None
+        assert token.work_charged == 10
+
+    def test_work_cap_expires_once_exceeded(self):
+        token = QueryBudget(verify_steps=5).start()
+        token.charge(5)  # exactly at cap: still fine
+        with pytest.raises(BudgetExceeded):
+            token.charge(1)
+        assert token.expired
+        assert token.reason == "verify-budget"
+
+    def test_deadline_expires_by_clock(self):
+        token = QueryBudget(deadline_ms=5).start()
+        deadline = time.perf_counter() + 2.0
+        while not token.expired_now() and time.perf_counter() < deadline:
+            time.sleep(0.001)
+        assert token.expired
+        assert token.reason == "deadline"
+
+    def test_explicit_cancel_first_reason_wins(self):
+        token = CancellationToken()
+        token.cancel("load-shed")
+        token.cancel("later")
+        assert token.expired
+        assert token.reason == "load-shed"
+        with pytest.raises(BudgetExceeded) as exc:
+            token.poll()
+        assert exc.value.reason == "load-shed"
+
+    def test_expiry_visible_across_threads(self):
+        token = QueryBudget(verify_steps=50).start()
+        seen = threading.Event()
+
+        def worker():
+            deadline = time.perf_counter() + 5.0
+            while time.perf_counter() < deadline:
+                if token.expired:
+                    seen.set()
+                    return
+                time.sleep(0.001)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        with pytest.raises(BudgetExceeded):
+            token.charge(51)
+        t.join()
+        assert seen.is_set()
+
+
+# ----------------------------------------------------------------------
+# matcher integration — the enumerator unwinds at bounded intervals
+# ----------------------------------------------------------------------
+class TestMatcherCancellation:
+    @staticmethod
+    def _hard_instance():
+        # Odd cycle vs a single-label bipartite grid: no embedding exists,
+        # but the matcher must walk an enormous path space to prove it.
+        m = n = 6
+        verts = ["a"] * (m * n)
+        edges = []
+        for r in range(m):
+            for c in range(n):
+                v = r * n + c
+                if c + 1 < n:
+                    edges.append((v, v + 1, 1))
+                if r + 1 < m:
+                    edges.append((v, v + n, 1))
+        grid = LabeledGraph(verts, edges)
+        cycle = LabeledGraph(
+            ["a"] * 9, [(i, (i + 1) % 9, 1) for i in range(9)]
+        )
+        return cycle, grid
+
+    def test_expired_token_unwinds_search(self):
+        cycle, grid = self._hard_instance()
+        token = QueryBudget(verify_steps=200).start()
+        with pytest.raises(BudgetExceeded):
+            list(subgraph_monomorphisms(cycle, grid, token=token))
+        # The batched checkpoint allows at most one interval of slack.
+        assert token.work_charged <= 200 + token.CHECK_INTERVAL
+
+    def test_no_token_is_exact(self):
+        cycle, grid = self._hard_instance()
+        assert list(subgraph_monomorphisms(cycle, grid)) == []
+
+    def test_generous_token_changes_nothing(self):
+        pattern = LabeledGraph(["a", "b"], [(0, 1, 1)])
+        target = LabeledGraph(["a", "b", "a"], [(0, 1, 1), (1, 2, 1)])
+        free = list(subgraph_monomorphisms(pattern, target))
+        token = QueryBudget(verify_steps=10_000, deadline_ms=60_000).start()
+        assert list(subgraph_monomorphisms(pattern, target, token=token)) == free

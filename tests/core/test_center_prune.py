@@ -102,11 +102,15 @@ class TestConstraintCheck:
 
 class TestCenterPrune:
     def test_prunes_only_violators(self, problem, graphs):
-        survivors = center_prune(problem, [0, 1], graphs)
-        assert survivors == [0]
+        report = center_prune(problem, [0, 1], graphs)
+        assert report.survivors == [0]
+        assert report.refuted == 1
+        assert report.exhausted == 0 and report.skipped == 0
+        assert not report.degraded
 
     def test_empty_candidates(self, problem, graphs):
-        assert center_prune(problem, [], graphs) == []
+        report = center_prune(problem, [], graphs)
+        assert report.survivors == [] and not report.degraded
 
 
 class TestMultipleLocations:

@@ -4,10 +4,14 @@ import pytest
 
 from repro.core import (
     CenterConstraintProblem,
+    QueryBudget,
     TreePiConfig,
     TreePiIndex,
+    center_prune,
+    check_center_constraints,
     satisfies_center_constraints,
 )
+from repro.exceptions import ConfigError
 from repro.core.partition import Partition
 from repro.baselines import SequentialScan
 from repro.datasets import extract_query_workload
@@ -65,6 +69,71 @@ class TestBudget:
         graph.graph_id = 0
         problem = _two_piece_problem(query, [(1,)], [(3,)])
         assert not satisfies_center_constraints(problem, graph, 99, budget=0)
+
+
+class TestExplicitOutcome:
+    """The three-way outcome the boolean façade used to collapse."""
+
+    def test_satisfied_within_budget(self, query):
+        near = path_graph(["a", "b", "c", "d", "e"])
+        near.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(3,)])
+        decision = check_center_constraints(problem, near, 0, budget=10_000)
+        assert decision.keep and not decision.exhausted
+        assert decision.checks > 0
+
+    def test_refuted_within_budget_is_not_exhausted(self, query):
+        far = path_graph(["a", "b", "c", "z", "z", "z", "c", "d", "e"])
+        far.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(7,)])
+        decision = check_center_constraints(problem, far, 0, budget=10_000)
+        assert not decision.keep and not decision.exhausted
+
+    def test_exhausted_is_kept_and_flagged(self, query):
+        far = path_graph(["a", "b", "c", "z", "z", "z", "c", "d", "e"])
+        far.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(7,)])
+        decision = check_center_constraints(problem, far, 0, budget=0)
+        assert decision.keep and decision.exhausted
+        # budget=0 means no checks allowed: none were spent.
+        assert decision.checks == 0
+
+    def test_missing_feature_refutes_for_free(self, query):
+        graph = path_graph(["a", "b", "c", "d", "e"])
+        graph.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(3,)])
+        decision = check_center_constraints(problem, graph, 99, budget=0)
+        assert not decision.keep and not decision.exhausted
+
+    def test_negative_budget_rejected(self, query):
+        near = path_graph(["a", "b", "c", "d", "e"])
+        near.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(3,)])
+        with pytest.raises(ConfigError):
+            check_center_constraints(problem, near, 0, budget=-1)
+        with pytest.raises(ConfigError):
+            satisfies_center_constraints(problem, near, 0, budget=-1)
+
+    def test_center_prune_reports_exhaustion(self, query):
+        far = path_graph(["a", "b", "c", "z", "z", "z", "c", "d", "e"])
+        far.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(7,)])
+        report = center_prune(problem, [0], {0: far}, budget_per_graph=0)
+        assert report.survivors == [0]
+        assert report.exhausted == 1 and report.refuted == 0
+        assert report.degraded
+
+    def test_expired_deadline_keeps_remaining_candidates(self, query):
+        far = path_graph(["a", "b", "c", "z", "z", "z", "c", "d", "e"])
+        far.graph_id = 0
+        problem = _two_piece_problem(query, [(1,)], [(7,)])
+        token = QueryBudget(deadline_ms=0).start()
+        report = center_prune(
+            problem, [0], {0: far}, budget_per_graph=10_000, token=token
+        )
+        # Nothing examined, everything kept: a superset is sound.
+        assert report.survivors == [0]
+        assert report.skipped == 1 and report.degraded
 
 
 class TestEndToEndWithTinyBudget:
