@@ -1,0 +1,135 @@
+"""Committed suppression baselines for incremental rule adoption.
+
+A new rule family lands against an existing tree: every pre-existing
+finding would otherwise block CI until fixed, so (like flake8/ruff
+``--baseline`` workflows) a committed JSON file records the findings
+that were present when the gate was introduced.  ``lint --baseline
+FILE`` subtracts them from the failure set — they are still reported
+(``baselined`` in the JSON payload, ``suppressions`` in SARIF) but do
+not fail the run.  ``--update-baseline`` regenerates the file from the
+current findings.
+
+Fingerprints are ``(path, rule, message)`` with a per-fingerprint
+*count* — deliberately line-independent, so unrelated edits that shift
+a waived finding up or down the file do not resurrect it, while a *new*
+finding of the same rule in the same file (count exceeded) or any
+finding in a new location still fails.  Entries are sorted, so the file
+diffs cleanly and regenerating on an unchanged tree is a no-op.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.analysis.engine import LintReport
+from repro.analysis.violations import Violation
+
+#: Schema version of the baseline file.
+BASELINE_VERSION = 1
+
+Fingerprint = Tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file is missing, unreadable, or malformed."""
+
+
+def _fingerprint(violation: Violation) -> Fingerprint:
+    path = violation.path.replace("\\", "/")
+    return (path, violation.rule_id, violation.message)
+
+
+def _counts(violations: List[Violation]) -> Dict[Fingerprint, int]:
+    counts: Dict[Fingerprint, int] = {}
+    for v in violations:
+        key = _fingerprint(v)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def load_baseline(path: Union[str, Path]) -> Dict[Fingerprint, int]:
+    """Parse a baseline file into fingerprint counts."""
+    p = Path(path)
+    if not p.is_file():
+        raise BaselineError(
+            f"baseline file {p} does not exist "
+            "(create it with --update-baseline)"
+        )
+    try:
+        payload = json.loads(p.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline file {p} is not valid JSON: {exc}")
+    if not isinstance(payload, dict) or "entries" not in payload:
+        raise BaselineError(f"baseline file {p} has no 'entries' list")
+    version = payload.get("version")
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"baseline file {p} has version {version!r}, "
+            f"expected {BASELINE_VERSION}"
+        )
+    counts: Dict[Fingerprint, int] = {}
+    for entry in payload["entries"]:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline file {p} has a non-object entry")
+        try:
+            key = (
+                str(entry["path"]).replace("\\", "/"),
+                str(entry["rule"]),
+                str(entry["message"]),
+            )
+            count = int(entry.get("count", 1))
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline entry in {p} is missing key {exc}"
+            )
+        counts[key] = counts.get(key, 0) + max(count, 1)
+    return counts
+
+
+def write_baseline(
+    path: Union[str, Path], report: LintReport
+) -> int:
+    """Write the report's unsuppressed findings as the new baseline.
+
+    Findings already moved to ``baselined_violations`` by a prior
+    :func:`apply_baseline` call are folded back in, so updating against
+    a stale file never silently drops still-present findings.
+    Returns the number of distinct fingerprints written.
+    """
+    current = _counts(report.violations + report.baselined_violations)
+    entries = [
+        {"path": key[0], "rule": key[1], "message": key[2], "count": count}
+        for key, count in sorted(current.items())
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)
+
+
+def apply_baseline(
+    report: LintReport, baseline: Dict[Fingerprint, int]
+) -> LintReport:
+    """Move baselined findings out of the failure set, in place.
+
+    Matching is by fingerprint, first occurrences first (violations are
+    already sorted by location), each fingerprint consumed at most
+    ``count`` times — a new violation with the same fingerprint beyond
+    the recorded count still fails.  Returns the same report.
+    """
+    remaining = dict(baseline)
+    kept: List[Violation] = []
+    for v in report.violations:
+        key = _fingerprint(v)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            report.baselined_violations.append(v)
+        else:
+            kept.append(v)
+    report.violations[:] = kept
+    report.baselined_violations.sort()
+    report.baseline_applied = True
+    return report

@@ -21,6 +21,7 @@ from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro.analysis.concurrency  # noqa: F401 - registers the REPRO2xx rule family
+import repro.analysis.hotpath  # noqa: F401 - registers the REPRO3xx rule family
 from repro.analysis.rules import FileContext, rules_for
 from repro.analysis.violations import Violation
 
@@ -39,16 +40,25 @@ class LintReport:
 
     ``suppressed_violations`` keeps the hits silenced by ``noqa`` so the
     JSON report (a CI artifact) can audit what was waived, not just what
-    failed.
+    failed.  ``baselined_violations`` holds findings subtracted by a
+    committed baseline file (:mod:`repro.analysis.baseline`);
+    ``baseline_applied`` records that a baseline pass ran, so renderers
+    know to include the extra fields.
     """
 
     violations: List[Violation] = field(default_factory=list)
     files_checked: int = 0
     suppressed_violations: List[Violation] = field(default_factory=list)
+    baselined_violations: List[Violation] = field(default_factory=list)
+    baseline_applied: bool = False
 
     @property
     def suppressed(self) -> int:
         return len(self.suppressed_violations)
+
+    @property
+    def baselined(self) -> int:
+        return len(self.baselined_violations)
 
     @property
     def ok(self) -> bool:

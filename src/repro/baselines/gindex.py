@@ -189,7 +189,7 @@ class GIndexBaseline:
                 [self._selected[key] for key in sorted(found)], early_exit=True
             )
         else:
-            candidates = PostingList(self._db.graph_ids())
+            candidates = self._db.universe_posting()
         # A single query edge that is not even ψ-frequent at size 1 (σ=1
         # there) occurs nowhere: the answer is provably empty.
         for u, v, elabel in query.edges():

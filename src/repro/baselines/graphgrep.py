@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Sequence, Set, Tuple
 
 from repro.core.statistics import QueryResult
 from repro.exceptions import IndexError_
@@ -92,7 +92,7 @@ class GraphGrepBaseline:
         self._paths = LabelInterner()
         self._fingerprints: Dict[int, Dict[int, int]] = {}
         inverted: Dict[int, List[int]] = {}
-        for gid in sorted(database.graph_ids()):
+        for gid in database.graph_ids():  # already ascending
             raw = path_fingerprint(database[gid], config.max_length)
             interned = {
                 self._paths.intern(key): count
@@ -142,7 +142,7 @@ class GraphGrepBaseline:
             phase_seconds=phases,
         )
 
-    def _filter(self, needed: Dict[PathKey, int]) -> List[int]:
+    def _filter(self, needed: Dict[PathKey, int]) -> Sequence[int]:
         """Graphs whose fingerprint dominates ``needed``, in id order.
 
         Posting intersection finds the graphs containing *every* query
@@ -151,7 +151,7 @@ class GraphGrepBaseline:
         the survivors' interned fingerprints only.
         """
         if not needed:
-            return sorted(self._db.graph_ids())
+            return self._db.universe_posting()
         requirements: List[Tuple[int, int]] = []
         for key in sorted(needed):
             key_id = self._paths.get(key)

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro.analysis.flow import hot_path
 from repro.core.budget import CancellationToken
 from repro.core.feature import FeatureTree
 from repro.exceptions import ConfigError
@@ -92,9 +93,10 @@ def center_assignments(
             yield tuple(assignment)  # type: ignore[arg-type]
             return
         i = order[pos]
+        earlier = order[:pos]
         for center in location_lists[i]:
             ok = True
-            for prev in order[:pos]:
+            for prev in earlier:
                 bound = problem.distances[i][prev]
                 if oracle.set_distance(center, assignment[prev]) > bound:
                     ok = False
@@ -127,6 +129,7 @@ class PruneDecision:
     checks: int = 0  # distance checks actually spent
 
 
+@hot_path
 def check_center_constraints(
     problem: CenterConstraintProblem,
     graph: LabeledGraph,
@@ -176,9 +179,10 @@ def check_center_constraints(
         if pos == m:
             return True
         i = order[pos]
+        earlier = order[:pos]
         for center in location_lists[i]:
             ok = True
-            for prev in order[:pos]:
+            for prev in earlier:
                 if out_of_budget():
                     return True  # give up pruning: keep the graph
                 checks += 1
@@ -240,6 +244,7 @@ class PruneReport:
         return self.exhausted > 0 or self.skipped > 0
 
 
+@hot_path
 def center_prune(
     problem: CenterConstraintProblem,
     candidates: Sequence[int],

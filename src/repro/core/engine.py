@@ -47,6 +47,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.flow import hot_path
 from repro.analysis.guards import TrackedLock, guarded_by, note_acquire, note_release
 from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.statistics import EngineStats, QueryResult
@@ -455,6 +456,7 @@ class QueryEngine:
                 len(r.unresolved) for r in degraded
             )
 
+    @hot_path
     @guarded_by("_rw", mode="read")
     def _execute(
         self,
@@ -470,6 +472,7 @@ class QueryEngine:
         outcome = self._verify_plans([plan], token)[0]
         return self._finish_plan(plan, outcome, token)
 
+    @hot_path
     @guarded_by("_rw", mode="read")
     def _execute_batch(
         self,
@@ -520,6 +523,7 @@ class QueryEngine:
             degraded_reason=token.reason if token is not None else None,
         )
 
+    @hot_path
     @guarded_by("_rw", mode="read")
     def _verify_plans(
         self, plans: List[QueryPlan], token: Optional[CancellationToken] = None

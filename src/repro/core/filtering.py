@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Union
 
+from repro.analysis.flow import hot_path
 from repro.core.feature import FeatureTree
 from repro.core.partition import QueryPiece
 from repro.storage import PostingList
@@ -58,12 +59,11 @@ def _constrain(result: PostingList, universe: Universe) -> FrozenSet[int]:
     if isinstance(universe, PostingList):
         return result.intersect(universe).to_frozenset()
     if isinstance(universe, (set, frozenset, range)):
-        members = universe
-    else:
-        members = set(universe)
-    return frozenset(gid for gid in result if gid in members)
+        return frozenset(gid for gid in result if gid in universe)
+    return result.intersect(PostingList(universe)).to_frozenset()
 
 
+@hot_path
 def filter_candidates(
     universe: Universe,
     pieces: Iterable[QueryPiece],

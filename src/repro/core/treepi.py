@@ -22,6 +22,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.flow import hot_path
 from repro.analysis.guards import guarded_by
 from repro.core.budget import CancellationToken, QueryBudget
 from repro.core.center_prune import CenterConstraintProblem, center_prune
@@ -307,6 +308,7 @@ class TreePiIndex:
     # ------------------------------------------------------------------
     # query processing (Section 5)
     # ------------------------------------------------------------------
+    @hot_path
     def query(
         self, query: LabeledGraph, budget: Optional[QueryBudget] = None
     ) -> QueryResult:
@@ -341,6 +343,7 @@ class TreePiIndex:
             degraded_reason=token.reason if token is not None else None,
         )
 
+    @hot_path
     def plan(
         self,
         query: LabeledGraph,
@@ -432,7 +435,7 @@ class TreePiIndex:
             if postings:
                 stage1 = PostingList.intersect_many(postings, early_exit=True)
         if stage1 is None:
-            stage1 = PostingList.from_sorted(sorted(self._db.graph_ids()))
+            stage1 = self._db.universe_posting()
 
         rng = random.Random(self._config.seed)
         delta = self._config.delta or max(1, query.num_edges)
@@ -493,6 +496,7 @@ class TreePiIndex:
             prune_exhausted=prune_exhausted,
         )
 
+    @hot_path
     def verify(
         self,
         plan: "QueryPlan",

@@ -33,6 +33,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
+from repro.analysis.flow import hot_path
 from repro.core.budget import CancellationToken
 from repro.core.center_prune import CenterConstraintProblem
 from repro.graphs.distances import DistanceOracle
@@ -102,6 +103,7 @@ def _piece_order(
     return order
 
 
+@hot_path
 def verify_candidate(
     query: LabeledGraph,
     problem: CenterConstraintProblem,
@@ -189,7 +191,10 @@ def verify_candidate(
             center_image = tuple(
                 sorted(overlap_seed[v] for v in piece.center)
             )
-            if search(pos + 1, qmap, used, placed_centers + [(i, center_image)]):
+            placed_centers.append((i, center_image))
+            matched = search(pos + 1, qmap, used, placed_centers)
+            placed_centers.pop()
+            if matched:
                 return True
             failed.add(memo_key)
             return False
@@ -236,13 +241,14 @@ def verify_candidate(
                         elif known != gv:
                             good = False
                             break
-                    if good and search(
-                        pos + 1,
-                        extended,
-                        frozenset(new_used),
-                        placed_centers + [(i, center)],
-                    ):
-                        return True
+                    if good:
+                        placed_centers.append((i, center))
+                        matched = search(
+                            pos + 1, extended, frozenset(new_used), placed_centers
+                        )
+                        placed_centers.pop()
+                        if matched:
+                            return True
         failed.add(memo_key)
         return False
 

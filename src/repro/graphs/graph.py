@@ -17,6 +17,7 @@ from __future__ import annotations
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.exceptions import GraphError
+from repro.storage.posting import PostingList, id_array
 
 VertexLabel = Hashable
 EdgeLabel = Hashable
@@ -277,6 +278,7 @@ class GraphDatabase:
     def __init__(self, graphs: Iterable[LabeledGraph] = ()) -> None:
         self._graphs: Dict[int, LabeledGraph] = {}
         self._next_id = 0
+        self._universe: Optional[PostingList] = None
         for g in graphs:
             self.add(g)
 
@@ -295,13 +297,16 @@ class GraphDatabase:
         self._next_id = max(self._next_id, gid + 1)
         graph.graph_id = gid
         self._graphs[gid] = graph
+        self._universe = None
         return gid
 
     def remove(self, graph_id: int) -> LabeledGraph:
         try:
-            return self._graphs.pop(graph_id)
+            removed = self._graphs.pop(graph_id)
         except KeyError:
             raise GraphError(f"no graph with id {graph_id}") from None
+        self._universe = None
+        return removed
 
     def __len__(self) -> int:
         return len(self._graphs)
@@ -320,6 +325,20 @@ class GraphDatabase:
 
     def graph_ids(self) -> List[int]:
         return sorted(self._graphs)
+
+    def universe_posting(self) -> PostingList:
+        """All graph ids as a cached zero-copy posting-list snapshot.
+
+        This is the ``P_q ← D`` initializer of Algorithm 1: the stage-1
+        filter and the baselines seed their candidate sets from it on
+        every query, so the sorted id column is built once and shared
+        until :meth:`add`/:meth:`remove` invalidate it.  Handed-out
+        snapshots stay consistent — the backing array is replaced on
+        invalidation, never mutated.
+        """
+        if self._universe is None:
+            self._universe = PostingList._wrap(id_array(sorted(self._graphs)))
+        return self._universe
 
     def average_edge_count(self) -> float:
         """Mean edge count, the paper's ``s̄_D`` used to pick eta."""

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
+from repro.analysis.flow import hot_path
 from repro.graphs.graph import LabeledGraph
 
 if TYPE_CHECKING:  # runtime use is duck-typed to avoid a core<->graphs cycle
@@ -52,6 +53,7 @@ def _matching_order(pattern: LabeledGraph, seeded: Tuple[int, ...]) -> List[int]
     return order
 
 
+@hot_path
 def subgraph_monomorphisms(
     pattern: LabeledGraph,
     target: LabeledGraph,
@@ -194,6 +196,7 @@ def subgraph_monomorphisms(
     yield from backtrack(start)
 
 
+@hot_path
 def is_subgraph_isomorphic(
     pattern: LabeledGraph,
     target: LabeledGraph,

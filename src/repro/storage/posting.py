@@ -23,6 +23,8 @@ from array import array
 from bisect import bisect_left
 from typing import Iterable, Iterator, Optional, Sequence, Set
 
+from repro.analysis.flow import hot_path
+
 #: Length ratio beyond which two-way intersection gallops instead of
 #: hash-intersecting (measured crossover on CPython: gallop wins past
 #: roughly 16:1 skew, hashing the smaller side wins below it).
@@ -123,6 +125,7 @@ class PostingList:
     # ------------------------------------------------------------------
     # set algebra
     # ------------------------------------------------------------------
+    @hot_path
     def intersect(self, other: "PostingList") -> "PostingList":
         """Two-way intersection, galloping when lengths are skewed."""
         small, large = (
@@ -179,6 +182,7 @@ class PostingList:
         return PostingList._wrap(out)
 
     @staticmethod
+    @hot_path
     def intersect_many(
         lists: Sequence["PostingList"], early_exit: bool = True
     ) -> "PostingList":

@@ -1,0 +1,225 @@
+"""The committed-baseline workflow: waive pre-existing findings, never new ones.
+
+Unit tests drive :mod:`repro.analysis.baseline` directly; the CLI tests
+mirror the CI gate (``lint --select REPRO3 --baseline FILE``) end to end,
+including the key property that a *new* violation still fails against a
+stale baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.baseline import BaselineError
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+QUADRATIC = """\
+from repro.analysis.flow import hot_path
+
+@hot_path
+def dedup(items):
+    seen = []
+    for x in items:
+        if x in seen:
+            continue
+        seen.append(x)
+    return seen
+"""
+
+SECOND_VIOLATION = """\
+
+@hot_path
+def build(paths):
+    out = []
+    for p in paths:
+        out = out + [p]
+    return out
+"""
+
+
+def _fixture(tmp_path: Path, source: str = QUADRATIC) -> Path:
+    bad = tmp_path / "repro" / "core" / "fixture.py"
+    bad.parent.mkdir(parents=True, exist_ok=True)
+    bad.write_text(source)
+    return bad
+
+
+def _run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+# ----------------------------------------------------------------------
+# library API
+# ----------------------------------------------------------------------
+def test_roundtrip_suppresses_existing_findings(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+
+    report = lint_paths([bad], select=["REPRO3"])
+    assert len(report.violations) == 1
+    assert write_baseline(baseline_file, report) == 1
+
+    fresh = lint_paths([bad], select=["REPRO3"])
+    apply_baseline(fresh, load_baseline(baseline_file))
+    assert fresh.ok
+    assert fresh.violations == []
+    assert [v.rule_id for v in fresh.baselined_violations] == ["REPRO304"]
+    assert fresh.baseline_applied
+
+
+def test_new_violation_fails_against_stale_baseline(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([bad], select=["REPRO3"]))
+
+    bad.write_text(QUADRATIC + SECOND_VIOLATION)
+    report = lint_paths([bad], select=["REPRO3"])
+    apply_baseline(report, load_baseline(baseline_file))
+    assert not report.ok
+    assert len(report.violations) == 1  # only the new list-concat finding
+    assert "concatenation" in report.violations[0].message
+    assert len(report.baselined_violations) == 1
+
+
+def test_fingerprints_are_line_independent(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([bad], select=["REPRO3"]))
+
+    # unrelated edit shifts the waived finding down the file
+    bad.write_text("# a new leading comment\n" + QUADRATIC)
+    report = lint_paths([bad], select=["REPRO3"])
+    apply_baseline(report, load_baseline(baseline_file))
+    assert report.ok, [v.format() for v in report.violations]
+
+
+def test_count_limit_catches_duplicate_fingerprints(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([bad], select=["REPRO3"]))
+
+    # a second identical finding in the same file exceeds the count
+    duplicated = QUADRATIC + QUADRATIC.replace(
+        "def dedup", "def dedup_again"
+    ).replace("from repro.analysis.flow import hot_path\n", "")
+    bad.write_text(duplicated)
+    report = lint_paths([bad], select=["REPRO3"])
+    apply_baseline(report, load_baseline(baseline_file))
+    assert not report.ok
+
+
+def test_update_folds_baselined_findings_back_in(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([bad], select=["REPRO3"]))
+
+    report = lint_paths([bad], select=["REPRO3"])
+    apply_baseline(report, load_baseline(baseline_file))
+    assert report.violations == []
+    # regenerating from the already-baselined report keeps the entry
+    assert write_baseline(baseline_file, report) == 1
+    payload = json.loads(baseline_file.read_text())
+    assert payload["version"] == 1
+    assert len(payload["entries"]) == 1
+
+
+def test_load_rejects_missing_and_malformed_files(tmp_path):
+    with pytest.raises(BaselineError):
+        load_baseline(tmp_path / "absent.json")
+    broken = tmp_path / "broken.json"
+    broken.write_text("{not json")
+    with pytest.raises(BaselineError):
+        load_baseline(broken)
+    wrong_version = tmp_path / "wrong.json"
+    wrong_version.write_text('{"version": 99, "entries": []}')
+    with pytest.raises(BaselineError):
+        load_baseline(wrong_version)
+    no_entries = tmp_path / "noentries.json"
+    no_entries.write_text('{"version": 1}')
+    with pytest.raises(BaselineError):
+        load_baseline(no_entries)
+
+
+# ----------------------------------------------------------------------
+# CLI workflow (the CI gate)
+# ----------------------------------------------------------------------
+def test_cli_baseline_workflow_end_to_end(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+
+    proc = _run_cli("lint", "--select", "REPRO3", str(bad))
+    assert proc.returncode == 1
+
+    proc = _run_cli(
+        "lint",
+        "--select",
+        "REPRO3",
+        "--baseline",
+        str(baseline_file),
+        "--update-baseline",
+        str(bad),
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "baseline: wrote 1 fingerprint(s)" in proc.stdout
+
+    proc = _run_cli(
+        "lint", "--select", "REPRO3", "--baseline", str(baseline_file), str(bad)
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "(1 baselined)" in proc.stdout
+
+    # a fresh violation fails even with the stale baseline applied
+    bad.write_text(QUADRATIC + SECOND_VIOLATION)
+    proc = _run_cli(
+        "lint", "--select", "REPRO3", "--baseline", str(baseline_file), str(bad)
+    )
+    assert proc.returncode == 1, proc.stdout + proc.stderr
+    assert "REPRO304" in proc.stdout
+
+
+def test_cli_update_baseline_requires_baseline_path(tmp_path):
+    bad = _fixture(tmp_path)
+    proc = _run_cli("lint", "--update-baseline", str(bad))
+    assert proc.returncode == 2
+    assert "--update-baseline requires --baseline" in proc.stderr
+
+
+def test_cli_missing_baseline_file_is_an_error(tmp_path):
+    bad = _fixture(tmp_path)
+    proc = _run_cli(
+        "lint", "--baseline", str(tmp_path / "absent.json"), str(bad)
+    )
+    assert proc.returncode == 2
+    assert "does not exist" in proc.stderr
+
+
+def test_committed_baseline_is_empty_and_src_is_clean():
+    """The repo ships an empty baseline: no waived REPRO3xx debt."""
+    baseline_file = REPO_ROOT / ".repro-lint-baseline.json"
+    payload = json.loads(baseline_file.read_text())
+    assert payload == {"version": 1, "entries": []}
+    proc = _run_cli(
+        "lint", "--select", "REPRO3", "--baseline", str(baseline_file), "src/"
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

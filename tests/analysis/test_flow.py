@@ -1,0 +1,350 @@
+"""Unit tests for the interprocedural model behind the REPRO3xx rules.
+
+These exercise :class:`repro.analysis.flow.FileFlow` directly: call
+resolution through the lexical scope chain, the loop/checkpoint
+fixpoints, token-forwarding detection (the parameter-forwarding
+contract: a token threaded through a helper keeps the chain intact, a
+dropped token severs it), hot-set propagation, and closure-aware
+assignment origins.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.flow import FileFlow, hot_path
+
+
+def build(source: str, module_path: str = "repro/core/fixture.py") -> FileFlow:
+    return FileFlow(ast.parse(source), module_path)
+
+
+def fn(flow: FileFlow, qualname: str):
+    for info in flow.functions:
+        if info.qualname == qualname:
+            return info
+    raise AssertionError(
+        f"{qualname} not in {[f.qualname for f in flow.functions]}"
+    )
+
+
+# ----------------------------------------------------------------------
+# the decorator itself
+# ----------------------------------------------------------------------
+def test_hot_path_decorator_is_a_runtime_noop():
+    @hot_path
+    def sample(x):
+        return x + 1
+
+    assert sample(1) == 2
+    assert sample.__name__ == "sample"
+    assert sample.__repro_hot_path__ is True
+
+
+# ----------------------------------------------------------------------
+# call resolution
+# ----------------------------------------------------------------------
+def test_resolves_module_function_and_self_method():
+    flow = build(
+        """
+def helper(x):
+    return x
+
+class Engine:
+    def _inner(self, x):
+        return helper(x)
+
+    def run(self, x):
+        return self._inner(x)
+"""
+    )
+    run = fn(flow, "Engine.run")
+    (site,) = run.calls
+    assert flow.resolved(site) is fn(flow, "Engine._inner")
+    inner = fn(flow, "Engine._inner")
+    (site,) = inner.calls
+    assert flow.resolved(site) is fn(flow, "helper")
+
+
+def test_resolves_sibling_nested_def_through_enclosing_scope():
+    flow = build(
+        """
+def outer():
+    def a():
+        return b()
+
+    def b():
+        return 1
+
+    return a()
+"""
+    )
+    a = fn(flow, "outer.a")
+    (site,) = a.calls
+    assert flow.resolved(site) is fn(flow, "outer.b")
+
+
+def test_non_self_attribute_calls_stay_unresolved():
+    flow = build(
+        """
+def run(oracle):
+    return oracle.distance(0, 1)
+"""
+    )
+    run = fn(flow, "run")
+    (site,) = run.calls
+    assert flow.resolved(site) is None
+
+
+# ----------------------------------------------------------------------
+# loop and recursion fixpoints
+# ----------------------------------------------------------------------
+def test_loops_propagate_through_resolved_calls():
+    flow = build(
+        """
+def leaf(xs):
+    total = 0
+    for x in xs:
+        total += x
+    return total
+
+def middle(xs):
+    return leaf(xs)
+
+def top(xs):
+    return middle(xs)
+
+def flat(x):
+    return x
+"""
+    )
+    assert flow.transitively_loops(fn(flow, "leaf"))
+    assert flow.transitively_loops(fn(flow, "middle"))
+    assert flow.transitively_loops(fn(flow, "top"))
+    assert not flow.transitively_loops(fn(flow, "flat"))
+
+
+def test_recursion_counts_as_looping():
+    flow = build(
+        """
+def search(pos):
+    if pos == 0:
+        return True
+    return search(pos - 1)
+"""
+    )
+    assert flow.is_recursive(fn(flow, "search"))
+    assert flow.transitively_loops(fn(flow, "search"))
+
+
+def test_registry_call_counts_as_looping():
+    flow = build(
+        """
+def run(problem, graph):
+    return verify_candidate(problem, graph)
+"""
+    )
+    assert flow.transitively_loops(fn(flow, "run"))
+
+
+# ----------------------------------------------------------------------
+# token forwarding (the parameter-forwarding contract)
+# ----------------------------------------------------------------------
+def test_token_forwarded_through_helper_checkpoints():
+    """token → helper → poll(): the whole chain transitively checkpoints."""
+    flow = build(
+        """
+def helper(xs, token):
+    for x in xs:
+        token.poll()
+
+def run(xs, token):
+    helper(xs, token)
+"""
+    )
+    assert flow.transitively_checkpoints(fn(flow, "helper"))
+    assert flow.transitively_checkpoints(fn(flow, "run"))
+    run = fn(flow, "run")
+    (site,) = run.calls
+    assert flow.forwards_token(run, site)
+    assert flow.accepts_token(site)
+
+
+def test_dropped_token_severs_the_chain():
+    """``helper(xs)`` without the token is exactly what REPRO301 flags:
+    the callee accepts a token, loops, and the call does not forward one.
+    """
+    flow = build(
+        """
+def helper(xs, token):
+    for x in xs:
+        token.poll()
+
+def run(xs, token):
+    helper(xs)
+"""
+    )
+    run = fn(flow, "run")
+    (site,) = run.calls
+    assert not flow.forwards_token(run, site)
+    assert flow.accepts_token(site)
+    assert flow.call_loops(site)
+
+
+def test_keyword_forwarding_counts():
+    flow = build(
+        """
+def run(xs, token):
+    verify_candidate(xs, token=token)
+"""
+    )
+    run = fn(flow, "run")
+    (site,) = run.calls
+    assert flow.forwards_token(run, site)
+    assert flow.accepts_token(site)  # registry fallback for unresolved calls
+
+
+def test_closure_captured_token_forwards_positionally():
+    flow = build(
+        """
+def outer(xs, token):
+    def inner():
+        return verify_candidate(xs, token)
+
+    return inner()
+"""
+    )
+    inner = fn(flow, "outer.inner")
+    assert "token" in inner.token_names()
+    (site,) = inner.calls
+    assert flow.forwards_token(inner, site)
+
+
+def test_annotation_marks_a_token_parameter():
+    flow = build(
+        """
+def run(xs, deadline: "CancellationToken"):
+    for x in xs:
+        deadline.poll()
+"""
+    )
+    run = fn(flow, "run")
+    assert run.token_params == {"deadline"}
+
+
+def test_checkpoint_attrs_inside_nested_def_do_not_leak_out():
+    flow = build(
+        """
+def run(xs, token):
+    def later():
+        token.poll()
+
+    total = 0
+    for x in xs:
+        total += x
+    return total
+"""
+    )
+    run = fn(flow, "run")
+    loop = run.own_loops[0]
+    # defining a checkpointing closure is not the same as calling one
+    assert not flow.subtree_checkpoints(run, loop)
+
+
+# ----------------------------------------------------------------------
+# hot-set propagation
+# ----------------------------------------------------------------------
+def test_hotness_reaches_callees_and_closures():
+    flow = build(
+        """
+from repro.analysis.flow import hot_path
+
+def cold(x):
+    return x
+
+def reached(x):
+    return x
+
+@hot_path
+def entry(x):
+    def closure(y):
+        return y
+
+    return reached(closure(x))
+"""
+    )
+    assert flow.is_hot(fn(flow, "entry"))
+    assert flow.is_hot(fn(flow, "entry.closure"))
+    assert flow.is_hot(fn(flow, "reached"))
+    assert not flow.is_hot(fn(flow, "cold"))
+
+
+def test_spine_names_are_hot_only_under_core():
+    src = """
+def query(x):
+    return x
+"""
+    hot_flow = build(src, "repro/core/engine.py")
+    assert hot_flow.is_hot(fn(hot_flow, "query"))
+    cold_flow = build(src, "repro/mining/miner.py")
+    assert not cold_flow.is_hot(fn(cold_flow, "query"))
+
+
+def test_stacked_decorators_still_mark_hot():
+    flow = build(
+        """
+from repro.analysis.flow import hot_path
+
+class P:
+    @staticmethod
+    @hot_path
+    def intersect_many(lists):
+        return lists
+"""
+    )
+    assert flow.is_hot(fn(flow, "P.intersect_many"))
+
+
+# ----------------------------------------------------------------------
+# assignment origins
+# ----------------------------------------------------------------------
+def test_origins_track_container_kinds():
+    flow = build(
+        """
+def run(xs):
+    a = []
+    b = set(xs)
+    c = {x for x in xs}
+    d = {}
+    e = ""
+    return a, b, c, d, e
+"""
+    )
+    run = fn(flow, "run")
+    assert run.origin_of("a") == {"list"}
+    assert run.origin_of("b") == {"setcall"}
+    assert run.origin_of("c") == {"set"}
+    assert run.origin_of("d") == {"dict"}
+    assert run.origin_of("e") == {"str"}
+    assert run.origin_of("xs") == {"param"}
+    assert run.origin_of("missing") is None
+
+
+def test_origins_are_closure_aware_and_union_rebinds():
+    flow = build(
+        """
+def outer(seed):
+    used = set(seed.values())
+
+    def backtrack(x):
+        return x in used
+
+    rebound = []
+    rebound = sorted(rebound)
+    return backtrack
+"""
+    )
+    inner = fn(flow, "outer.backtrack")
+    assert inner.origin_of("used") == {"setcall"}
+    outer = fn(flow, "outer")
+    assert outer.origin_of("rebound") == {"list"}

@@ -1,0 +1,143 @@
+"""SARIF output and report-schema stability.
+
+``--format sarif`` feeds GitHub code scanning; the classic JSON payload
+is a CI artifact with a frozen key set, so the baseline keys must stay
+conditional on a baseline actually being applied.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import (
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.report import render_json, render_sarif
+from repro.analysis.rules import all_rules
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+FIXTURE = """\
+from repro.analysis.flow import hot_path
+
+@hot_path
+def dedup(items):
+    seen = []
+    for x in items:
+        if x in seen:  # noqa: REPRO304 - fixture keeps one waived finding
+            continue
+        if x in seen:
+            continue
+        seen.append(x)
+    return seen
+"""
+
+
+def _fixture(tmp_path: Path) -> Path:
+    bad = tmp_path / "repro" / "core" / "fixture.py"
+    bad.parent.mkdir(parents=True, exist_ok=True)
+    bad.write_text(FIXTURE)
+    return bad
+
+
+def _run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_sarif_structure_and_rule_metadata(tmp_path):
+    report = lint_paths([_fixture(tmp_path)], select=["REPRO3"])
+    payload = json.loads(render_sarif(report))
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro-analysis"
+    # every registered rule ships metadata, found or not
+    assert {r["id"] for r in driver["rules"]} == {
+        cls.rule_id for cls in all_rules()
+    }
+    for rule in driver["rules"]:
+        assert rule["fullDescription"]["text"]
+
+
+def test_sarif_results_cover_open_suppressed_and_baselined(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([bad], select=["REPRO3"]))
+
+    report = lint_paths([bad], select=["REPRO3"])
+    apply_baseline(report, load_baseline(baseline_file))
+    payload = json.loads(render_sarif(report))
+    results = payload["runs"][0]["results"]
+    kinds = sorted(
+        r["suppressions"][0]["kind"] if "suppressions" in r else "open"
+        for r in results
+    )
+    # one noqa-waived (inSource), one baselined (external), none open
+    assert kinds == ["external", "inSource"]
+    for r in results:
+        assert r["level"] == "error"
+        loc = r["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"].endswith("fixture.py")
+        assert loc["region"]["startLine"] >= 1
+        assert loc["region"]["startColumn"] >= 1
+
+
+def test_cli_sarif_format(tmp_path):
+    bad = _fixture(tmp_path)
+    proc = _run_cli("lint", "--select", "REPRO3", "--format", "sarif", str(bad))
+    assert proc.returncode == 1  # exit code still reflects the open finding
+    payload = json.loads(proc.stdout)
+    assert payload["runs"][0]["results"]
+
+
+def test_cli_sarif_on_clean_src():
+    proc = _run_cli("lint", "--select", "REPRO3", "--format", "sarif", "src/")
+    assert proc.returncode == 0, proc.stderr
+    payload = json.loads(proc.stdout)
+    open_results = [
+        r
+        for r in payload["runs"][0]["results"]
+        if "suppressions" not in r
+    ]
+    assert open_results == []
+
+
+def test_json_schema_unchanged_without_baseline(tmp_path):
+    report = lint_paths([_fixture(tmp_path)], select=["REPRO3"])
+    payload = json.loads(render_json(report))
+    assert set(payload) == {
+        "counts_by_rule",
+        "files_checked",
+        "ok",
+        "suppressed",
+        "suppressed_count",
+        "violations",
+    }
+
+
+def test_json_gains_baseline_keys_only_when_applied(tmp_path):
+    bad = _fixture(tmp_path)
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, lint_paths([bad], select=["REPRO3"]))
+    report = lint_paths([bad], select=["REPRO3"])
+    apply_baseline(report, load_baseline(baseline_file))
+    payload = json.loads(render_json(report))
+    assert payload["baselined_count"] == 1
+    assert payload["baselined"][0]["rule"] == "REPRO304"
+    assert payload["ok"] is True
