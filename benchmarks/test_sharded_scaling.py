@@ -1,0 +1,108 @@
+"""Sharded serving scaling bench: QPS and tail latency vs shard count.
+
+Replays one synthetic query workload through :class:`repro.serving.
+ShardedEngine` at K ∈ {1, 2, 4, 8} (same corpus, same router seed,
+caches disabled so every round runs real pipelines) and records
+throughput (QPS), p50/p99 per-query latency, and the shard-size spread.
+K=1 doubles as the single-engine baseline: the tier adds one thread
+hop, so its K=1 row is the scatter-gather overhead floor, and the
+K>1 rows show what fan-out buys when per-shard candidate sets shrink.
+
+Emits ``bench_results/sharded_scaling.csv`` (CI artifact).  Answers
+are asserted identical across every K while measuring — a scaling
+number from a wrong answer set is worthless.
+"""
+
+import statistics
+import time
+
+from conftest import publish
+
+from repro.bench import Table
+from repro.core import TreePiConfig
+from repro.datasets import extract_query_workload, synthetic_database
+from repro.graphs import GraphDatabase
+from repro.mining import SupportFunction
+from repro.serving import ShardedEngine
+
+SHARD_COUNTS = (1, 2, 4, 8)
+ROUNDS_BY_SCALE = {"tiny": 3, "small": 6, "medium": 10}
+
+
+def _corpus(scale):
+    db = synthetic_database(
+        scale.query_db_size,
+        avg_seed_edges=4,
+        avg_graph_edges=10,
+        num_seeds=max(10, scale.query_db_size // 3),
+        num_vertex_labels=4,
+        seed=31,
+    )
+    queries = []
+    for size in scale.query_sizes[:2]:
+        queries.extend(
+            extract_query_workload(db, size, scale.queries_per_size, seed=size)
+        )
+    return db, queries
+
+
+def _percentile(ordered, q):
+    if not ordered:
+        return 0.0
+    idx = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[idx]
+
+
+def test_sharded_scaling(scale):
+    db, queries = _corpus(scale)
+    rounds = ROUNDS_BY_SCALE[scale.name]
+    config = TreePiConfig(
+        SupportFunction(alpha=2, beta=2.0, eta=scale.eta), seed=5
+    )
+    table = Table(
+        title=f"Sharded scatter-gather scaling ({scale.name}: "
+        f"{len(db)} graphs, {len(queries)} queries x {rounds} rounds)",
+        columns=[
+            "shards", "min_shard", "max_shard",
+            "qps", "p50_ms", "p99_ms", "total_s",
+        ],
+    )
+    baseline = None
+    for k in SHARD_COUNTS:
+        mirror = GraphDatabase()
+        for gid in db.graph_ids():
+            mirror.add(db[gid], graph_id=gid)
+        tier = ShardedEngine(mirror, config, k, cache_size=0, router_seed=7)
+        sizes = tier.shard_sizes()
+        answers = []
+        samples = []
+        wall = time.perf_counter()
+        for _ in range(rounds):
+            round_answers = []
+            for query in queries:
+                t0 = time.perf_counter()
+                result = tier.query(query)
+                samples.append((time.perf_counter() - t0) * 1000.0)
+                assert result.complete
+                round_answers.append(result.matches)
+            answers = round_answers
+        wall = time.perf_counter() - wall
+        if baseline is None:
+            baseline = answers
+        else:
+            assert answers == baseline, f"K={k} changed an answer set"
+        ordered = sorted(samples)
+        table.add_row(
+            k,
+            min(sizes.values()),
+            max(sizes.values()),
+            round(len(samples) / wall, 1),
+            round(statistics.median(ordered), 3),
+            round(_percentile(ordered, 0.99), 3),
+            round(wall, 3),
+        )
+    table.notes.append(
+        "answers asserted identical across all shard counts; "
+        "cache_size=0 so every query runs a full scatter"
+    )
+    publish(table, "sharded_scaling")

@@ -70,7 +70,7 @@ def query_cache_key(query: LabeledGraph) -> str:
     return "g:" + canonical_label(query)
 
 
-class _ReadWriteLock:
+class ReadWriteLock:
     """A writer-preferring readers-writer lock.
 
     Queries hold the read side for their full pipeline so maintenance can
@@ -81,9 +81,14 @@ class _ReadWriteLock:
     tracker (active only under ``REPRO_CONTRACTS=1``) *before* blocking,
     so an ordering cycle raises instead of deadlocking; the internal
     condition variable is deliberately untracked meta-state.
+
+    Shared infrastructure: :class:`QueryEngine` guards each shardable
+    index with one, and :class:`repro.serving.ShardedEngine` reuses the
+    same class (same discipline, same tracker visibility) for its
+    tier-level scatter/rebalance lock.
     """
 
-    def __init__(self, name: str = "_ReadWriteLock") -> None:
+    def __init__(self, name: str = "ReadWriteLock") -> None:
         self.name = name
         self._cond = threading.Condition()
         self._readers = 0
@@ -122,6 +127,10 @@ class _ReadWriteLock:
                 self._writer_active = False
                 self._cond.notify_all()
             note_release(self)
+
+
+#: Backwards-compatible private alias (the class predates the serving tier).
+_ReadWriteLock = ReadWriteLock
 
 
 @dataclass
@@ -206,7 +215,7 @@ class QueryEngine:
         self._verify_workers = verify_workers
         # Lock order is _rw -> _mutex (never the reverse); the guards
         # tracker verifies that discipline under REPRO_CONTRACTS=1.
-        self._rw = _ReadWriteLock("QueryEngine._rw")
+        self._rw = ReadWriteLock("QueryEngine._rw")
         self._mutex = TrackedLock("QueryEngine._mutex")
         self._cache = _LRUCache(cache_size)
         self._generation = 0
@@ -244,6 +253,16 @@ class QueryEngine:
         """A consistent snapshot of the per-stage counters."""
         with self._mutex:
             return self._counters.snapshot()
+
+    def graph_ids(self) -> List[int]:
+        """Sorted ids of the graphs currently served (read-locked snapshot).
+
+        A shard-embeddable hook: the sharded tier brackets a failed
+        shard's contribution with exactly this universe, so it must be a
+        consistent snapshot, not a live view.
+        """
+        with self._rw.read_locked():
+            return self._index.database.graph_ids()
 
     def storage_bytes(self) -> int:
         """Resident bytes of the served index's columnar storage.
@@ -335,10 +354,18 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # maintenance (write-locked; every mutation invalidates the cache)
     # ------------------------------------------------------------------
-    def insert(self, graph: LabeledGraph) -> int:
-        """Add a graph through the index's maintenance path."""
+    def insert(
+        self, graph: LabeledGraph, graph_id: Optional[int] = None
+    ) -> int:
+        """Add a graph through the index's maintenance path.
+
+        ``graph_id`` may pin a specific unused id — the shard-embeddable
+        hook :class:`repro.serving.ShardedEngine` uses to keep one global
+        id space across per-shard databases (so per-shard answer sets
+        union without translation).
+        """
         with self._rw.write_locked():
-            gid = self._index.insert(graph)
+            gid = self._index.insert(graph, graph_id=graph_id)
             self._invalidate("inserts")
         return gid
 

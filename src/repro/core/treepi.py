@@ -574,8 +574,14 @@ class TreePiIndex:
         self._serving_lock = lock
 
     @guarded_by("_serving_lock", mode="write")
-    def insert(self, graph: LabeledGraph) -> int:
+    def insert(
+        self, graph: LabeledGraph, graph_id: Optional[int] = None
+    ) -> int:
         """Add a graph: update support sets and center positions in place.
+
+        ``graph_id`` may pin a specific unused database id (the sharded
+        serving tier allocates ids globally and pins them per shard so
+        per-shard answer sets stay directly unionable).
 
         Edge types never seen before are materialized as fresh single-edge
         features first — the completeness floor (σ(1)=1, every database
@@ -587,7 +593,7 @@ class TreePiIndex:
         pruning: a feature whose (feature) subtrees are absent from the new
         graph cannot occur.
         """
-        gid = self._db.add(graph)
+        gid = self._db.add(graph, graph_id=graph_id)
         for u, v, elabel in graph.edges():
             probe = LabeledGraph(
                 [graph.vertex_label(u), graph.vertex_label(v)], [(0, 1, elabel)]

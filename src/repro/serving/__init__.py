@@ -1,0 +1,39 @@
+"""Sharded scatter-gather serving tier.
+
+The single :class:`repro.core.engine.QueryEngine` serves one index on
+one machine-sized corpus.  This package is the horizontal step the
+roadmap's north star calls for: :class:`ShardedEngine` partitions a
+:class:`repro.graphs.graph.GraphDatabase` into K disjoint shards
+(:class:`ShardRouter`), builds one engine per shard, and serves the
+same ``query`` / ``query_batch`` / ``insert`` / ``delete`` surface by
+scatter-gather.
+
+TreePi's filter-then-verify answer sets compose trivially across
+disjoint partitions — the union of per-shard answers *is* the exact
+answer — so the merge layer adds no approximation.  What it does add
+is a serving contract (see ``docs/SERVING.md``):
+
+* per-shard deadlines via :class:`repro.core.budget.QueryBudget`, with
+  shard-level degradation — a late or failed shard contributes its
+  unresolved bracket (or its full shard universe) so the merged result
+  always satisfies ``matches ⊆ exact ⊆ matches ∪ unresolved``;
+* admission control — an in-flight cap that rejects
+  (:class:`repro.exceptions.AdmissionError`) or degrades *before*
+  dispatch;
+* rebalancing on insert skew behind the tier's writer-preferring lock.
+"""
+
+from repro.serving.faults import FaultPolicy, ScriptedFaults
+from repro.serving.router import ShardMove, ShardRouter
+from repro.serving.sharded import ShardedEngine
+from repro.serving.stats import ShardedStats, TierCounters
+
+__all__ = [
+    "FaultPolicy",
+    "ScriptedFaults",
+    "ShardMove",
+    "ShardRouter",
+    "ShardedEngine",
+    "ShardedStats",
+    "TierCounters",
+]

@@ -1,0 +1,109 @@
+"""Fault-injection hooks for the sharded serving tier.
+
+The degradation contract (``docs/SERVING.md``) promises that a shard
+which raises, times out, or hangs contributes a sound unresolved
+bracket instead of corrupting the merged answer.  That promise is only
+testable if faults can be *provoked on demand*: a
+:class:`FaultPolicy` is consulted on the dispatch thread immediately
+before a shard's engine runs, so a scripted policy can make exactly
+one shard raise or stall while the rest of the scatter proceeds
+normally.
+
+The default policy does nothing and costs one virtual call per
+dispatch.  :class:`ScriptedFaults` is the test harness's workhorse:
+thread-safe, deterministic, and self-draining (each scripted fault
+fires a fixed number of times, then the shard recovers).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class FaultPolicy:
+    """Dispatch-time hook; the no-op base is the production default."""
+
+    def before_query(self, shard_id: int) -> None:
+        """Called on the dispatch worker just before ``shard_id`` runs.
+
+        Implementations may raise (the tier records a shard fault and
+        degrades soundly) or sleep past the gather deadline (recorded
+        as a shard timeout).  Returning normally lets the shard serve.
+        """
+        return None
+
+
+#: ``(kind, payload, exc_factory)`` — kind is "raise" or "hang".
+_Fault = Tuple[str, float, Optional[Callable[[], BaseException]]]
+
+
+class ScriptedFaults(FaultPolicy):
+    """Deterministic per-shard fault scripts for tests and chaos drills.
+
+    Faults queue FIFO per shard and each entry fires once; an exhausted
+    script leaves the shard healthy, which is what the recovery tests
+    lean on.  Safe to share across dispatch threads.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._scripts: Dict[int, List[_Fault]] = {}
+        self._fired = 0
+
+    def fail(
+        self,
+        shard_id: int,
+        exc_factory: Optional[Callable[[], BaseException]] = None,
+        times: int = 1,
+    ) -> None:
+        """Script ``times`` dispatch failures on ``shard_id``.
+
+        ``exc_factory`` builds the exception per firing (default: a
+        plain ``RuntimeError`` — deliberately *not* a ``ReproError``,
+        so the tier's handling of foreign exceptions is what gets
+        exercised).
+        """
+        with self._lock:
+            queue = self._scripts.setdefault(shard_id, [])
+            queue.extend(("raise", 0.0, exc_factory) for _ in range(times))
+
+    def hang(self, shard_id: int, seconds: float, times: int = 1) -> None:
+        """Script ``times`` stalls of ``seconds`` on ``shard_id``.
+
+        A stall longer than the gather's deadline + grace is observed
+        as a shard timeout; a short one just adds latency.
+        """
+        with self._lock:
+            queue = self._scripts.setdefault(shard_id, [])
+            queue.extend(("hang", seconds, None) for _ in range(times))
+
+    @property
+    def fired(self) -> int:
+        """How many scripted faults have fired so far."""
+        with self._lock:
+            return self._fired
+
+    def pending(self, shard_id: int) -> int:
+        """How many scripted faults remain queued for ``shard_id``."""
+        with self._lock:
+            return len(self._scripts.get(shard_id, ()))
+
+    def before_query(self, shard_id: int) -> None:
+        fault: Optional[_Fault] = None
+        with self._lock:
+            queue = self._scripts.get(shard_id)
+            if queue:
+                fault = queue.pop(0)
+                self._fired += 1
+        if fault is None:
+            return
+        kind, seconds, exc_factory = fault
+        if kind == "hang":
+            time.sleep(seconds)
+            return
+        exc = exc_factory() if exc_factory is not None else RuntimeError(
+            f"injected fault on shard {shard_id}"
+        )
+        raise exc

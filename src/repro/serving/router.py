@@ -1,0 +1,200 @@
+"""Stable hash-with-rebalance shard routing.
+
+The router owns the global ``graph id -> shard`` map of a
+:class:`repro.serving.ShardedEngine`.  Placement is a pure function of
+``(graph_id, seed, num_shards)`` — a multiplicative (Fibonacci) hash —
+so a fixed seed routes identically across runs, processes and replayed
+corpora.  Hashing alone can leave tiny or adversarial corpora skewed,
+so the router also plans *rebalances*: deterministic move lists that
+bring every shard's size into the tight ``[floor(n/K), ceil(n/K)]``
+band while moving as few graphs as possible.  A graph moved off its
+hash-home keeps its explicit assignment until a later plan moves it
+again ("stable hash *with* rebalance", not consistent hashing).
+
+The class is deliberately lock-free: it is plain bookkeeping, and the
+owning engine serializes every call under its own mutex.  All outputs
+(id lists, sizes, plans) are freshly built and sorted, never views of
+internal state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, NamedTuple, Set
+
+from repro.exceptions import ConfigError, IndexError_
+
+#: Knuth's multiplicative hashing constant (2**32 / phi, odd).
+_GOLDEN = 0x9E3779B1
+_MASK32 = 0xFFFFFFFF
+
+
+class ShardMove(NamedTuple):
+    """One planned relocation: ``graph_id`` leaves ``src`` for ``dst``."""
+
+    graph_id: int
+    src: int
+    dst: int
+
+
+class ShardRouter:
+    """Deterministic graph-id placement across ``num_shards`` shards.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of shards, ``>= 1``.  Fixed for the router's lifetime.
+    seed:
+        Mixed into the placement hash so distinct deployments (or test
+        corpora) can de-correlate their shard layouts while each stays
+        fully reproducible.
+    """
+
+    def __init__(self, num_shards: int, seed: int = 0) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self._num_shards = num_shards
+        self._seed = seed
+        self._assignment: Dict[int, int] = {}
+        self._members: Dict[int, Set[int]] = {
+            sid: set() for sid in range(num_shards)
+        }
+
+    # ------------------------------------------------------------------
+    # placement
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def seed(self) -> int:
+        return self._seed
+
+    def __len__(self) -> int:
+        return len(self._assignment)
+
+    def home_shard(self, graph_id: int) -> int:
+        """The pure-hash placement of ``graph_id`` (ignores rebalances)."""
+        mixed = ((graph_id + self._seed + 1) * _GOLDEN) & _MASK32
+        mixed ^= mixed >> 16
+        return mixed % self._num_shards
+
+    def assign(self, graph_id: int, shard: int | None = None) -> int:
+        """Place ``graph_id`` (on its hash home unless ``shard`` pins one).
+
+        Returns the shard chosen.  Assigning an id twice is a caller
+        bug, not a routing outcome, and raises.
+        """
+        if graph_id in self._assignment:
+            raise IndexError_(
+                f"graph {graph_id} is already routed to shard "
+                f"{self._assignment[graph_id]}"
+            )
+        sid = self.home_shard(graph_id) if shard is None else shard
+        self._check_shard(sid)
+        self._assignment[graph_id] = sid
+        self._members[sid].add(graph_id)
+        return sid
+
+    def locate(self, graph_id: int) -> int:
+        """The shard currently holding ``graph_id``."""
+        try:
+            return self._assignment[graph_id]
+        except KeyError:
+            raise IndexError_(f"graph {graph_id} is not routed") from None
+
+    def remove(self, graph_id: int) -> int:
+        """Forget ``graph_id``; returns the shard it lived on."""
+        sid = self.locate(graph_id)
+        del self._assignment[graph_id]
+        self._members[sid].discard(graph_id)
+        return sid
+
+    def _check_shard(self, sid: int) -> None:
+        if not 0 <= sid < self._num_shards:
+            raise ConfigError(
+                f"shard {sid} out of range (router has {self._num_shards})"
+            )
+
+    # ------------------------------------------------------------------
+    # inspection (all outputs freshly built — never internal views)
+    # ------------------------------------------------------------------
+    def all_ids(self) -> List[int]:
+        """Every routed graph id, sorted."""
+        return sorted(self._assignment)
+
+    def ids_on(self, sid: int) -> List[int]:
+        """Sorted graph ids currently routed to shard ``sid``."""
+        self._check_shard(sid)
+        return sorted(self._members[sid])
+
+    def sizes(self) -> Dict[int, int]:
+        """``shard id -> member count`` for every shard (empty included)."""
+        return {sid: len(self._members[sid]) for sid in range(self._num_shards)}
+
+    def skew(self) -> float:
+        """``max/min`` shard-size ratio — the rebalance trigger metric.
+
+        ``1.0`` for a perfectly even (or empty) layout; ``inf`` when any
+        shard is empty while another is not.
+        """
+        counts = [len(self._members[sid]) for sid in range(self._num_shards)]
+        largest = max(counts)
+        smallest = min(counts)
+        if smallest == 0:
+            return 1.0 if largest == 0 else float("inf")
+        return largest / smallest
+
+    # ------------------------------------------------------------------
+    # rebalancing
+    # ------------------------------------------------------------------
+    def rebalance_plan(self) -> List[ShardMove]:
+        """A deterministic move list restoring the tight balance band.
+
+        Every shard ends within ``[floor(n/K), ceil(n/K)]`` members.
+        The plan is minimal in moved-graph count: targets keep each
+        shard as close to its current size as the band allows, so only
+        genuine excess travels.  Donors shed their *highest* ids first
+        (the most recently inserted — old placements stay sticky), and
+        receivers fill in ascending shard order.  The plan only
+        describes moves; call :meth:`apply` after the data actually
+        moved.
+        """
+        total = len(self._assignment)
+        base, extra = divmod(total, self._num_shards)
+        sizes = {sid: len(self._members[sid]) for sid in range(self._num_shards)}
+        # Hand the ceil slots to the currently-largest shards (ties by
+        # shard id) so the plan never moves more than the imbalance.
+        by_fullness = sorted(sizes, key=lambda sid: (-sizes[sid], sid))
+        targets = {
+            sid: base + (1 if rank < extra else 0)
+            for rank, sid in enumerate(by_fullness)
+        }
+        surplus: List[ShardMove] = []
+        for sid in range(self._num_shards):
+            excess = sizes[sid] - targets[sid]
+            if excess > 0:
+                for gid in sorted(self._members[sid], reverse=True)[:excess]:
+                    surplus.append(ShardMove(gid, sid, -1))
+        surplus.sort()
+        deficits = [
+            sid
+            for sid in range(self._num_shards)
+            for _ in range(max(0, targets[sid] - sizes[sid]))
+        ]
+        return [
+            ShardMove(move.graph_id, move.src, dst)
+            for move, dst in zip(surplus, deficits)
+        ]
+
+    def apply(self, moves: List[ShardMove]) -> None:
+        """Commit ``moves`` to the routing table (data already moved)."""
+        for gid, src, dst in moves:
+            if self._assignment.get(gid) != src:
+                raise IndexError_(
+                    f"stale rebalance plan: graph {gid} is not on shard {src}"
+                )
+            self._check_shard(dst)
+            self._members[src].discard(gid)
+            self._members[dst].add(gid)
+            self._assignment[gid] = dst

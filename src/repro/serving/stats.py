@@ -1,0 +1,79 @@
+"""Serving-tier statistics: per-shard engine counters plus a rollup.
+
+Two layers of observability, deliberately kept separate:
+
+* each shard's :class:`~repro.core.statistics.EngineStats` describes
+  work that shard's engine actually did (its own locks guard it);
+* :class:`TierCounters` describes what the *tier* did — fan-outs,
+  admission decisions, shard faults, rebalances — events no single
+  shard can see.
+
+:class:`ShardedStats` packages consistent snapshots of both.  Its
+:attr:`~ShardedStats.rollup` is the field-wise sum of the per-shard
+snapshots and nothing else — the differential suite's anti-inflation
+gate holds the tier to exactly that identity, so tier bookkeeping can
+never double-count shard work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict
+
+from repro.core.statistics import EngineStats
+
+
+@dataclass
+class TierCounters:
+    """Scatter-gather events counted at the tier, not inside any shard.
+
+    Mutable shared state owned by :class:`repro.serving.ShardedEngine`
+    and guarded by its ``_mutex`` (REPRO201 discipline, same as
+    :class:`~repro.core.statistics.EngineStats` under the single
+    engine); read consistent copies via :meth:`snapshot`.
+    """
+
+    queries: int = 0             # query() calls + query_batch() members
+    batches: int = 0             # query_batch() calls
+    fanouts: int = 0             # shard dispatches issued
+    admission_rejected: int = 0  # calls refused with AdmissionError
+    admission_degraded: int = 0  # calls degraded at the door (never dispatched)
+    shard_faults: int = 0        # dispatches that raised
+    shard_timeouts: int = 0      # dispatches abandoned past deadline + grace
+    degraded_results: int = 0    # merged results returned complete=False
+    inserts: int = 0
+    deletes: int = 0
+    rebalances: int = 0          # rebalance rounds that moved anything
+    graphs_moved: int = 0        # graphs relocated across all rounds
+
+    def snapshot(self) -> "TierCounters":
+        """An independent copy (safe to keep across further traffic)."""
+        return replace(self)
+
+
+@dataclass
+class ShardedStats:
+    """One consistent observation of a :class:`ShardedEngine`.
+
+    ``shards`` maps shard id to that engine's counter snapshot (shards
+    with no engine built yet report all-zero stats).  Both layers are
+    snapshots taken by ``ShardedEngine.stats`` — mutating them affects
+    nothing live.
+    """
+
+    tier: TierCounters = field(default_factory=TierCounters)
+    shards: Dict[int, EngineStats] = field(default_factory=dict)
+
+    @property
+    def rollup(self) -> EngineStats:
+        """Field-wise sum of the per-shard stats — no tier additions.
+
+        The anti-inflation invariant: every rollup field equals the sum
+        of that field over ``shards``, always.  Tier-level events live
+        in :attr:`tier` and never leak in here.
+        """
+        totals = {
+            f.name: sum(getattr(s, f.name) for s in self.shards.values())
+            for f in fields(EngineStats)
+        }
+        return EngineStats(**totals)

@@ -16,10 +16,20 @@ import json
 from repro.baselines.scan import SequentialScan
 from repro.graphs import GraphDatabase, save_database
 
-from differential.test_answer_sets import DATA_DIR, make_corpus
+try:  # imported as a module (pytest: tests.differential.freeze)
+    from tests.differential.test_answer_sets import DATA_DIR, make_corpus
+except ImportError:  # run as a script with PYTHONPATH=src:tests
+    from differential.test_answer_sets import DATA_DIR, make_corpus
 
 FROZEN_KIND = "chemical"
 FROZEN_SEED = 999
+
+#: Shard counts the sharded differential suite replays against the same
+#: frozen corpus, and the router seed fixing every shard layout.  Kept
+#: in the metadata (not hard-coded in two suites) so the single-engine
+#: and sharded suites can never drift onto different parameterizations.
+FROZEN_SHARD_COUNTS = [1, 2, 4, 8]
+FROZEN_ROUTER_SEED = 2007
 
 
 def main() -> None:
@@ -31,7 +41,13 @@ def main() -> None:
     save_database(GraphDatabase(queries), DATA_DIR / "queries.txt")
     (DATA_DIR / "expected_answers.json").write_text(
         json.dumps(
-            {"kind": FROZEN_KIND, "seed": FROZEN_SEED, "answers": answers},
+            {
+                "kind": FROZEN_KIND,
+                "seed": FROZEN_SEED,
+                "shard_counts": FROZEN_SHARD_COUNTS,
+                "router_seed": FROZEN_ROUTER_SEED,
+                "answers": answers,
+            },
             indent=2,
         )
         + "\n"

@@ -1,0 +1,199 @@
+"""K-sweep differential: the sharded tier answers exactly like one engine.
+
+TreePi answer sets compose across disjoint partitions, so for every
+shard count K the :class:`repro.serving.ShardedEngine` must return the
+*identical* answer set a single :class:`repro.core.engine.QueryEngine`
+returns on the same corpus — no approximation budget, no tolerance.
+This suite sweeps K ∈ {1, 2, 4, 8} (read from the frozen-corpus
+metadata, so this file and the replay below can never drift onto
+different parameterizations) over the 30 seeded corpora:
+
+* unbudgeted: exact equality, ``complete=True``, nothing unresolved;
+* budgeted: the soundness bracket
+  ``matches ⊆ exact ⊆ matches ∪ unresolved`` (budgets apply per
+  shard, so which side a candidate lands on is timing-dependent — the
+  bracket is the invariant, and degraded results are never cached);
+* stats: ``ShardedStats.rollup`` equals the field-wise sum of the
+  per-shard snapshots and tier traffic is counted once per call, not
+  once per shard — the serving-tier extension of PR 5's
+  anti-inflation gate.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import fields
+
+import pytest
+
+from repro.baselines.scan import SequentialScan
+from repro.core import QueryBudget, QueryEngine, TreePiConfig, TreePiIndex
+from repro.core.statistics import EngineStats
+from repro.graphs import GraphDatabase, load_database
+from repro.mining import SupportFunction
+from repro.serving import ShardedEngine
+from tests.differential.freeze import FROZEN_ROUTER_SEED, FROZEN_SHARD_COUNTS
+from tests.differential.test_answer_sets import (
+    CHEMICAL_SEEDS,
+    DATA_DIR,
+    SYNTHETIC_SEEDS,
+    corpus_params,
+    make_corpus,
+)
+
+SHARD_COUNTS = tuple(FROZEN_SHARD_COUNTS)
+
+
+def build_config() -> TreePiConfig:
+    """Same knobs as the single-engine differential suite."""
+    return TreePiConfig(SupportFunction(alpha=2, beta=2.0, eta=4), seed=5)
+
+
+def mirror_database(db: GraphDatabase) -> GraphDatabase:
+    """A fresh container over the same graphs and the same global ids.
+
+    The sharded tier re-partitions its input; giving it a mirror keeps
+    the oracle's database untouched while both serve identical ids.
+    """
+    mirror = GraphDatabase()
+    for gid in db.graph_ids():
+        mirror.add(db[gid], graph_id=gid)
+    return mirror
+
+
+def sharded_over(db: GraphDatabase, k: int, **kwargs) -> ShardedEngine:
+    kwargs.setdefault("router_seed", FROZEN_ROUTER_SEED)
+    return ShardedEngine(mirror_database(db), build_config(), k, **kwargs)
+
+
+def assert_rollup_uninflated(engine: ShardedEngine, members: int) -> None:
+    """The anti-inflation gate: rollup == Σ shards, tier counts calls once.
+
+    ``members`` is the number of query *memberships* the tier admitted
+    (singles + batch members).  Every active shard executes each of
+    them, so shard-level totals scale by K while tier totals must not.
+    """
+    stats = engine.stats
+    rollup = stats.rollup
+    for f in fields(EngineStats):
+        total = sum(getattr(s, f.name) for s in stats.shards.values())
+        assert getattr(rollup, f.name) == total, f.name
+    active = sum(1 for s in stats.shards.values() if s.queries > 0)
+    assert stats.tier.queries == members
+    assert rollup.queries == members * active
+    # Unbudgeted, un-faulted traffic: no degradation anywhere.
+    assert stats.tier.shard_faults == 0
+    assert stats.tier.shard_timeouts == 0
+    assert stats.tier.degraded_results == 0
+    assert rollup.degraded_results == 0
+    assert rollup.timeouts == 0
+
+
+@pytest.mark.parametrize(
+    "kind,seed",
+    corpus_params(CHEMICAL_SEEDS, "chemical")
+    + corpus_params(SYNTHETIC_SEEDS, "synthetic"),
+)
+def test_sharded_matches_single_engine(kind, seed):
+    """Unbudgeted K-sweep: exact equality against the single engine."""
+    db, queries = make_corpus(kind, seed)
+    single = QueryEngine(
+        TreePiIndex.build(db, build_config()), cache_size=len(queries)
+    )
+    exact = [single.query(q).matches for q in queries]
+    for k in SHARD_COUNTS:
+        tier = sharded_over(db, k)
+        for i, (query, truth) in enumerate(zip(queries, exact)):
+            result = tier.query(query)
+            assert result.complete, f"K={k} degraded on query {i}"
+            assert not result.unresolved
+            assert result.degraded_reason is None
+            assert result.matches == truth, f"K={k} diverged on query {i}"
+        for i, result in enumerate(tier.query_batch(queries)):
+            assert result.matches == exact[i], f"K={k} batch diverged on {i}"
+        assert_rollup_uninflated(tier, members=2 * len(queries))
+
+
+@pytest.mark.parametrize(
+    "kind,seed",
+    [
+        pytest.param("chemical", CHEMICAL_SEEDS[0], id="chemical"),
+        pytest.param("synthetic", SYNTHETIC_SEEDS[0], id="synthetic"),
+    ],
+)
+def test_budgeted_sharded_soundness_bracket(kind, seed):
+    """Budgeted K-sweep: every degraded answer brackets the exact one."""
+    db, queries = make_corpus(kind, seed)
+    scan = SequentialScan(db)
+    for k in SHARD_COUNTS:
+        tier = sharded_over(db, k)
+        budget = QueryBudget(verify_steps=3)
+        for query in queries:
+            exact = frozenset(scan.support_set(query))
+            result = tier.query(query, budget=budget)
+            assert result.matches <= exact
+            assert exact <= (result.matches | result.unresolved)
+            if result.complete:
+                assert result.matches == exact
+                assert not result.unresolved
+            else:
+                assert result.degraded_reason, "degraded result must say why"
+        # Degraded answers are never cached at any level: an unbudgeted
+        # retry must come back exact.
+        for query in queries:
+            retry = tier.query(query)
+            assert retry.complete
+            assert retry.matches == frozenset(scan.support_set(query))
+
+
+def test_frozen_corpus_sharded_replay():
+    """Replay the committed corpus through every committed shard count.
+
+    The metadata (``shard_counts``, ``router_seed``) lives next to the
+    frozen answers so the sharded and single-engine suites always
+    replay the identical corpus under the identical layout; drift in
+    either the generators or the merge shows up as a diff here.
+    """
+    db = load_database(DATA_DIR / "corpus.txt")
+    queries = list(load_database(DATA_DIR / "queries.txt"))
+    meta = json.loads((DATA_DIR / "expected_answers.json").read_text())
+    assert meta["shard_counts"] == list(SHARD_COUNTS)
+    assert len(meta["answers"]) == len(queries)
+    for k in meta["shard_counts"]:
+        tier = ShardedEngine(
+            mirror_database(db),
+            build_config(),
+            k,
+            router_seed=meta["router_seed"],
+        )
+        for i, (query, frozen) in enumerate(zip(queries, meta["answers"])):
+            result = tier.query(query)
+            assert sorted(result.matches) == frozen, (
+                f"K={k} drifted from frozen answers on query {i}"
+            )
+
+
+def test_merge_is_deterministic():
+    """Two identical sharded runs produce field-identical merged results.
+
+    Pins the K>1 merge's ordering: shard dispatch and gather iterate in
+    shard-id order, so ``degraded_reason`` strings, phase-time keys and
+    every counter must be reproducible run-to-run (the latent hazard a
+    thread-pool merge invites).
+    """
+    db, queries = make_corpus("chemical", CHEMICAL_SEEDS[0])
+    runs = []
+    for _ in range(2):
+        tier = sharded_over(db, 4)
+        runs.append([tier.query(q) for q in queries])
+    for first, second in zip(*runs):
+        assert first.matches == second.matches
+        assert first.unresolved == second.unresolved
+        assert first.complete == second.complete
+        assert first.degraded_reason == second.degraded_reason
+        assert first.direct_hit == second.direct_hit
+        assert first.partition_size == second.partition_size
+        assert first.sfq_size == second.sfq_size
+        assert first.candidates_after_filter == second.candidates_after_filter
+        assert first.candidates_after_prune == second.candidates_after_prune
+        assert sorted(first.phase_seconds) == sorted(second.phase_seconds)

@@ -1,0 +1,242 @@
+"""Fault-injection harness for the scatter-gather degradation contract.
+
+Every scenario drives one shard into a failure mode — raise, hang past
+its deadline, or a saturated admission cap — through
+:class:`repro.serving.ScriptedFaults` and asserts the three promises of
+``docs/SERVING.md``:
+
+1. **soundness** — the merged result still brackets the exact answer:
+   ``matches ⊆ exact ⊆ matches ∪ unresolved``;
+2. **attribution** — healthy shards' answers arrive complete, and the
+   missing shard's entire universe (no more, no less) is what lands in
+   ``unresolved``, with ``degraded_reason`` naming the shard;
+3. **recovery** — the next un-faulted call is exact again (degraded
+   results are never cached anywhere).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.analysis import ContractViolation
+from repro.baselines.scan import SequentialScan
+from repro.core import QueryBudget, TreePiConfig
+from repro.datasets import extract_query_workload, generate_aids_like
+from repro.exceptions import AdmissionError
+from repro.graphs import GraphDatabase
+from repro.mining import SupportFunction
+from repro.serving import ScriptedFaults, ShardedEngine
+
+NUM_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    db = generate_aids_like(12, avg_atoms=11, seed=77)
+    queries = list(extract_query_workload(db, 3, 3, seed=3))
+    queries += list(extract_query_workload(db, 5, 3, seed=5))
+    return db, queries
+
+
+def build_tier(db, faults=None, **kwargs):
+    mirror = GraphDatabase()
+    for gid in db.graph_ids():
+        mirror.add(db[gid], graph_id=gid)
+    config = TreePiConfig(SupportFunction(alpha=2, beta=2.0, eta=4), seed=5)
+    kwargs.setdefault("gather_grace_ms", 100.0)
+    return ShardedEngine(
+        mirror, config, NUM_SHARDS, fault_policy=faults, **kwargs
+    )
+
+
+def shard_universe(tier, sid):
+    return frozenset(
+        gid for gid in tier.graph_ids() if tier.shard_of(gid) == sid
+    )
+
+
+def assert_sound_and_flagged(result, exact, missing_universe, reason_word):
+    assert not result.complete
+    assert reason_word in (result.degraded_reason or "")
+    assert result.matches <= exact
+    assert exact <= (result.matches | result.unresolved)
+    # Healthy shards resolved everything they own: exactly the missing
+    # shard's universe is unresolved, and every graph outside it got an
+    # exact verdict.
+    assert result.unresolved == missing_universe
+    assert result.matches == exact - missing_universe
+
+
+def test_shard_raise_degrades_soundly(corpus):
+    db, queries = corpus
+    scan = SequentialScan(db)
+    faults = ScriptedFaults()
+    faults.fail(1, times=len(queries))
+    tier = build_tier(db, faults)
+    missing = shard_universe(tier, 1)
+    for query in queries:
+        exact = frozenset(scan.support_set(query))
+        result = tier.query(query)
+        assert_sound_and_flagged(result, exact, missing, "fault(RuntimeError)")
+        assert "shard 1" in result.degraded_reason
+    assert faults.fired == len(queries)
+    assert tier.stats.tier.shard_faults == len(queries)
+
+
+def test_shard_hang_times_out_soundly(corpus):
+    """A shard stalled past deadline + grace is declared missing."""
+    db, queries = corpus
+    scan = SequentialScan(db)
+    faults = ScriptedFaults()
+    faults.hang(2, seconds=2.0)
+    tier = build_tier(db, faults, gather_grace_ms=50.0)
+    missing = shard_universe(tier, 2)
+    query = queries[0]
+    exact = frozenset(scan.support_set(query))
+    result = tier.query(query, budget=QueryBudget(deadline_ms=50))
+    assert_sound_and_flagged(result, exact, missing, "timeout")
+    assert "shard 2" in result.degraded_reason
+    assert tier.stats.tier.shard_timeouts == 1
+
+
+def test_short_hang_only_adds_latency(corpus):
+    """A stall *within* deadline + grace degrades nothing."""
+    db, queries = corpus
+    scan = SequentialScan(db)
+    faults = ScriptedFaults()
+    faults.hang(0, seconds=0.05)
+    tier = build_tier(db, faults, gather_grace_ms=5000.0)
+    result = tier.query(queries[0], budget=QueryBudget(deadline_ms=5000))
+    assert result.complete
+    assert result.matches == frozenset(scan.support_set(queries[0]))
+    assert tier.stats.tier.shard_timeouts == 0
+
+
+def test_recovery_after_fault(corpus):
+    """Once the script drains, the very next call is exact again."""
+    db, queries = corpus
+    scan = SequentialScan(db)
+    faults = ScriptedFaults()
+    faults.fail(0)
+    faults.hang(3, seconds=2.0)
+    tier = build_tier(db, faults, gather_grace_ms=50.0)
+    query = queries[1]
+    exact = frozenset(scan.support_set(query))
+
+    degraded = tier.query(query, budget=QueryBudget(deadline_ms=50))
+    assert not degraded.complete
+    assert "shard 0" in degraded.degraded_reason
+    assert "shard 3" in degraded.degraded_reason
+    assert degraded.matches <= exact <= (degraded.matches | degraded.unresolved)
+
+    assert faults.pending(0) == 0 and faults.pending(3) == 0
+    recovered = tier.query(query)
+    assert recovered.complete
+    assert recovered.degraded_reason is None
+    assert not recovered.unresolved
+    assert recovered.matches == exact
+    # Every query in the pool is exact post-recovery — nothing cached a
+    # degraded answer anywhere in the tier.
+    for q in queries:
+        assert tier.query(q).matches == frozenset(scan.support_set(q))
+
+
+def test_batch_under_fault_flags_every_member(corpus):
+    db, queries = corpus
+    scan = SequentialScan(db)
+    faults = ScriptedFaults()
+    faults.fail(1)
+    tier = build_tier(db, faults)
+    missing = shard_universe(tier, 1)
+    results = tier.query_batch(queries)
+    for query, result in zip(queries, results):
+        exact = frozenset(scan.support_set(query))
+        assert_sound_and_flagged(result, exact, missing, "fault")
+    assert tier.stats.tier.degraded_results == len(queries)
+
+
+def test_contract_violation_is_never_degraded_away(corpus):
+    """Locking bugs must surface as exceptions, not as a sound-looking
+    degraded result — the one exception class the gather re-raises."""
+    db, _ = corpus
+    faults = ScriptedFaults()
+    faults.fail(0, exc_factory=lambda: ContractViolation("injected"))
+    tier = build_tier(db, faults)
+    query = next(iter(db))
+    with pytest.raises(ContractViolation, match="injected"):
+        tier.query(query)
+
+
+def test_admission_degrade_at_the_door(corpus):
+    """Past the in-flight cap, a call degrades *before* dispatch."""
+    db, queries = corpus
+    faults = ScriptedFaults()
+    faults.hang(0, seconds=1.0)
+    tier = build_tier(
+        db, faults, max_in_flight=1, admission="degrade",
+        gather_grace_ms=5000.0,
+    )
+    universe = frozenset(tier.graph_ids())
+    holder_done = threading.Event()
+    holder_result = []
+
+    def holder():
+        # Occupies the only in-flight slot for ~1s (the hang).
+        holder_result.append(tier.query(queries[0]))
+        holder_done.set()
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    try:
+        # Wait until the holder is actually admitted.
+        for _ in range(200):
+            if tier.in_flight >= 1:
+                break
+            threading.Event().wait(0.005)
+        assert tier.in_flight == 1
+        turned_away = tier.query(queries[1])
+        assert not turned_away.complete
+        assert "admission" in turned_away.degraded_reason
+        assert turned_away.matches == frozenset()
+        assert turned_away.unresolved == universe  # sound: everything open
+    finally:
+        assert holder_done.wait(timeout=30), "holder never finished"
+        thread.join(timeout=30)
+    assert holder_result[0].complete  # the admitted call was unaffected
+    assert tier.stats.tier.admission_degraded == 1
+    # With the slot free again, the same query is served exactly.
+    assert tier.query(queries[1]).complete
+
+
+def test_admission_reject_raises(corpus):
+    db, queries = corpus
+    faults = ScriptedFaults()
+    faults.hang(0, seconds=1.0)
+    tier = build_tier(
+        db, faults, max_in_flight=1, admission="reject",
+        gather_grace_ms=5000.0,
+    )
+    done = threading.Event()
+
+    def holder():
+        tier.query(queries[0])
+        done.set()
+
+    thread = threading.Thread(target=holder)
+    thread.start()
+    try:
+        for _ in range(200):
+            if tier.in_flight >= 1:
+                break
+            threading.Event().wait(0.005)
+        assert tier.in_flight == 1
+        with pytest.raises(AdmissionError, match="in-flight cap 1"):
+            tier.query(queries[1])
+    finally:
+        assert done.wait(timeout=30), "holder never finished"
+        thread.join(timeout=30)
+    assert tier.stats.tier.admission_rejected == 1
+    tier.query(queries[1])  # slot free: admitted and exact again
+    assert tier.stats.tier.admission_rejected == 1
