@@ -68,6 +68,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="regenerate the --baseline file from the current findings "
         "and exit 0",
     )
+    lint.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=".repro-lint-cache",
+        help="directory for the incremental lint cache "
+        "(default: %(default)s)",
+    )
+    lint.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="bypass the incremental lint cache (always re-analyze)",
+    )
 
     sub.add_parser("rules", help="print the rule catalog")
     sub.add_parser("contracts", help="run the runtime-contract self-test")
@@ -105,7 +117,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             return 2
         try:
-            report = lint_paths(args.paths, select=select, ignore=ignore)
+            report = lint_paths(
+                args.paths,
+                select=select,
+                ignore=ignore,
+                cache_dir=None if args.no_cache else args.cache_dir,
+            )
         except OSError as exc:
             print(f"error: cannot read {exc.filename}: {exc.strerror}", file=sys.stderr)
             return 2

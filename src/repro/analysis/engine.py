@@ -22,7 +22,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import repro.analysis.concurrency  # noqa: F401 - registers the REPRO2xx rule family
 import repro.analysis.hotpath  # noqa: F401 - registers the REPRO3xx rule family
-from repro.analysis.rules import FileContext, rules_for
+import repro.analysis.soundness  # noqa: F401 - registers the REPRO4xx rule family
+from repro.analysis.cache import (
+    LintCache,
+    entry_key,
+    file_digest,
+    run_fingerprint,
+)
+from repro.analysis.program import ProgramModel, build_program
+from repro.analysis.rules import FileContext, matches_rule_patterns, rules_for
 from repro.analysis.violations import Violation
 
 _NOQA_RE = re.compile(
@@ -87,29 +95,38 @@ def lint_source_full(
     path: str = "<string>",
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    tree: Optional[ast.Module] = None,
+    program: Optional[ProgramModel] = None,
 ) -> Tuple[List[Violation], List[Violation]]:
     """Lint one source string; returns ``(kept, noqa_suppressed)`` lists.
 
     ``path`` matters: several rules scope themselves by module location
     (e.g. REPRO101 only fires inside order-sensitive packages, REPRO122
     exempts the CLI).  Both lists are sorted by location.
+
+    ``tree`` lets the caller share one parse per file (the driver parses
+    every file exactly once for the whole-program model); ``program``
+    attaches that model so cross-module rules resolve real call targets
+    instead of per-file approximations.
     """
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as exc:
-        return (
-            [
-                Violation(
-                    path=path,
-                    line=exc.lineno or 0,
-                    col=(exc.offset or 0),
-                    rule_id=PARSE_ERROR_RULE,
-                    message=f"file does not parse: {exc.msg}",
-                )
-            ],
-            [],
-        )
+    if tree is None:
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return (
+                [
+                    Violation(
+                        path=path,
+                        line=exc.lineno or 0,
+                        col=(exc.offset or 0),
+                        rule_id=PARSE_ERROR_RULE,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                ],
+                [],
+            )
     ctx = FileContext(path, source, tree)
+    ctx.program = program
     raw: List[Violation] = []
     for rule in rules_for(ctx, select=select, ignore=ignore):
         raw.extend(rule.run())
@@ -163,25 +180,120 @@ def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
     return sorted(seen)
 
 
+def _selected(
+    rule_id: str,
+    select: Optional[List[str]],
+    ignore: Optional[List[str]],
+) -> bool:
+    """Mirror of :func:`rules_for`'s select/ignore semantics by rule id
+    (REPRO001 parse errors are always reported, as in lint_source)."""
+    if rule_id == PARSE_ERROR_RULE:
+        return True
+    if select is not None and not matches_rule_patterns(rule_id, select):
+        return False
+    if ignore and matches_rule_patterns(rule_id, ignore):
+        return False
+    return True
+
+
+def _parse_or_none(source: str) -> Optional[ast.Module]:
+    try:
+        return ast.parse(source)
+    except SyntaxError:
+        return None
+
+
 def lint_paths(
     paths: Sequence[Union[str, Path]],
     select: Optional[Iterable[str]] = None,
     ignore: Optional[Iterable[str]] = None,
+    cache_dir: Optional[Union[str, Path]] = None,
+    whole_program: bool = True,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``paths`` and aggregate a report."""
+    """Lint every ``.py`` file under ``paths`` and aggregate a report.
+
+    Every file is parsed once; the shared trees feed a whole-program
+    model (:mod:`repro.analysis.program`) so cross-module rules resolve
+    real call targets.  ``whole_program=False`` keeps the legacy
+    per-file mode (``TOKEN_CALLEES`` fallback surface) — used by the
+    registry-vs-resolution differential test.
+
+    With ``cache_dir`` set, per-file *full-rule* findings are cached by
+    content hash (see :mod:`repro.analysis.cache`); ``select``/
+    ``ignore`` filtering happens at read time so one entry serves every
+    family selection.
+    """
     report = LintReport()
     select = list(select) if select else None
     ignore = list(ignore) if ignore else None
-    for f in iter_python_files(paths):
-        report.files_checked += 1
-        kept, suppressed = lint_source_full(
-            Path(f).read_text(encoding="utf-8"),
-            str(f),
-            select=select,
-            ignore=ignore,
-        )
-        report.violations.extend(kept)
-        report.suppressed_violations.extend(suppressed)
+    files = iter_python_files(paths)
+    sources: List[Tuple[str, str]] = [
+        (str(f), Path(f).read_text(encoding="utf-8")) for f in files
+    ]
+
+    if cache_dir is None:
+        program: Optional[ProgramModel] = None
+        trees: Dict[str, Optional[ast.Module]] = {
+            path: _parse_or_none(src) for path, src in sources
+        }
+        if whole_program:
+            program = build_program(
+                [(path, src, trees[path]) for path, src in sources]
+            )
+        for path, src in sources:
+            report.files_checked += 1
+            kept, suppressed = lint_source_full(
+                src,
+                path,
+                select=select,
+                ignore=ignore,
+                tree=trees[path],
+                program=program,
+            )
+            report.violations.extend(kept)
+            report.suppressed_violations.extend(suppressed)
+    else:
+        cache = LintCache(cache_dir)
+        digests = {path: file_digest(src) for path, src in sources}
+        fingerprint = run_fingerprint(digests.items())
+        keys = {
+            path: entry_key(path, digests[path], fingerprint)
+            for path, _ in sources
+        }
+        results: Dict[str, Tuple[List[Violation], List[Violation]]] = {}
+        missing: List[Tuple[str, str]] = []
+        for path, src in sources:
+            hit = cache.load(keys[path])
+            if hit is None:
+                missing.append((path, src))
+            else:
+                results[path] = hit
+        if missing:
+            trees = {path: _parse_or_none(src) for path, src in sources}
+            shared = build_program(
+                [(path, src, trees[path]) for path, src in sources]
+            )
+            for path, src in missing:
+                kept, suppressed = lint_source_full(
+                    src,
+                    path,
+                    select=None,
+                    ignore=None,
+                    tree=trees[path],
+                    program=shared,
+                )
+                cache.store(keys[path], kept, suppressed)
+                results[path] = (kept, suppressed)
+        for path, _src in sources:
+            report.files_checked += 1
+            kept, suppressed = results[path]
+            report.violations.extend(
+                v for v in kept if _selected(v.rule_id, select, ignore)
+            )
+            report.suppressed_violations.extend(
+                v for v in suppressed if _selected(v.rule_id, select, ignore)
+            )
+
     report.violations.sort()
     report.suppressed_violations.sort()
     return report

@@ -29,9 +29,13 @@ This module builds that model for one file:
   the serving layer, everything reachable from them through resolved
   calls, and their nested closures.
 
-Only in-file edges are resolved; cross-file spine calls are covered by
-the :data:`TOKEN_CALLEES` registry (the exported plan→prune→verify
-surface, every member of which loops and accepts a token).
+Only in-file edges are resolved here; cross-file calls are answered by
+a pluggable :class:`ExternalSurface`.  When a file is analyzed inside a
+whole-program run (:mod:`repro.analysis.program`), the surface resolves
+the call through the real project-wide call graph.  When a file is
+analyzed standalone, the surface falls back to the legacy
+:data:`TOKEN_CALLEES` name registry — kept only as a deprecation shim;
+the registry approximates what real resolution now computes.
 
 The :func:`hot_path` decorator is the runtime half: a zero-cost marker
 that production code puts on its hot functions so the analyzer (and
@@ -41,7 +45,19 @@ human readers) know the REPRO304/305 complexity rules apply.
 from __future__ import annotations
 
 import ast
-from typing import Any, Callable, Dict, Iterator, List, Optional, Set, Tuple, TypeVar
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 _F = TypeVar("_F", bound=Callable[..., Any])
 
@@ -60,10 +76,13 @@ SPINE_FUNCTIONS = frozenset(
     }
 )
 
-#: The exported plan→prune→verify surface.  Every function here loops
-#: internally and accepts a ``token`` parameter; a call to one of these
-#: names that does not forward an in-scope token severs the
-#: cancellation chain even when the callee lives in another file.
+#: .. deprecated:: whole-program analysis
+#:    The hard-coded plan→prune→verify name registry.  It survives only
+#:    as the *fallback* surface for standalone single-file analysis
+#:    (fixtures, ``lint_source``); whole-program runs resolve cross-file
+#:    calls for real via :mod:`repro.analysis.program`.  Every name here
+#:    denotes an exported spine function that loops internally and
+#:    accepts a ``token`` parameter.
 TOKEN_CALLEES = frozenset(
     {
         "plan",
@@ -115,6 +134,62 @@ def _annotation_is_token(annotation: Optional[ast.expr]) -> bool:
     if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
         return "CancellationToken" in annotation.value
     return "CancellationToken" in ast.unparse(annotation)
+
+
+class ExternalInfo(NamedTuple):
+    """What a surface knows about a call that escapes the current file.
+
+    ``loops`` is scoped to the cancellation discipline: it reports
+    *token-governed* looping (the callee both accepts a token and
+    transitively loops), which is exactly what the legacy registry
+    asserted for its members.  A cross-file callee that loops but cannot
+    take a token is not a severed cancellation chain, so surfaces report
+    it as non-looping here; the whole-program model still tracks its
+    true looping status for the REPRO4xx family.
+    """
+
+    accepts_token: bool
+    loops: bool
+
+
+class ExternalSurface:
+    """Answers "what does this unresolved (cross-file) call reach?".
+
+    The default implementation knows nothing; see
+    :class:`LegacyTokenRegistry` for the standalone fallback and
+    ``repro.analysis.program.ResolvedSurface`` for real whole-program
+    resolution.
+    """
+
+    def info(
+        self,
+        site: "CallSite",
+        fn: Optional["FunctionInfo"],
+        module_path: str,
+    ) -> Optional[ExternalInfo]:
+        return None
+
+
+class LegacyTokenRegistry(ExternalSurface):
+    """Deprecation shim: the old :data:`TOKEN_CALLEES` name registry.
+
+    Used only when a file is analyzed without a whole-program model.
+    Every registered name is assumed to accept a token and loop — the
+    approximation real resolution replaces.
+    """
+
+    def __init__(self, names: Optional[Iterable[str]] = None) -> None:
+        self._names = frozenset(TOKEN_CALLEES if names is None else names)
+
+    def info(
+        self,
+        site: "CallSite",
+        fn: Optional["FunctionInfo"],
+        module_path: str,
+    ) -> Optional[ExternalInfo]:
+        if site.name in self._names:
+            return ExternalInfo(accepts_token=True, loops=True)
+        return None
 
 
 class CallSite:
@@ -248,7 +323,12 @@ def _value_origin(value: ast.expr) -> str:
 class FileFlow:
     """The interprocedural model of one source file."""
 
-    def __init__(self, tree: ast.Module, module_path: str) -> None:
+    def __init__(
+        self,
+        tree: ast.Module,
+        module_path: str,
+        surface: Optional[ExternalSurface] = None,
+    ) -> None:
         self.module_path = module_path
         self.functions: List[FunctionInfo] = []
         self.module_functions: Dict[str, FunctionInfo] = {}
@@ -257,13 +337,20 @@ class FileFlow:
         for fn in self.functions:
             self._scan(fn)
         self._resolved: Dict[int, Optional[FunctionInfo]] = {}
+        self._site_owner: Dict[int, FunctionInfo] = {}
         for fn in self.functions:
             for site in fn.calls:
                 self._resolved[id(site)] = self._resolve(fn, site)
-        self._loops = self._loop_fixpoint()
-        self._cycles = self._cycle_set()
-        self._checkpoints = self._checkpoint_fixpoint()
-        self.hot: Set[FunctionInfo] = self._hot_set()
+                self._site_owner[id(site)] = fn
+        self._surface = surface if surface is not None else LegacyTokenRegistry()
+        self._surface_cache: Dict[int, Optional[ExternalInfo]] = {}
+        # Fixpoints are lazy: a whole-program model builds every file's
+        # flow first (local tables only), computes its global facts, and
+        # only then do surface-dependent fixpoints run on demand.
+        self._loops: Optional[Dict[FunctionInfo, bool]] = None
+        self._cycles: Optional[Set[FunctionInfo]] = None
+        self._checkpoints: Optional[Dict[FunctionInfo, bool]] = None
+        self._hot: Optional[Set[FunctionInfo]] = None
 
     # ------------------------------------------------------------------
     # table construction
@@ -395,6 +482,15 @@ class FileFlow:
     def resolved(self, site: CallSite) -> Optional[FunctionInfo]:
         return self._resolved.get(id(site))
 
+    def external(self, site: CallSite) -> Optional[ExternalInfo]:
+        """Surface knowledge about a call the in-file tables cannot see."""
+        key = id(site)
+        if key not in self._surface_cache:
+            self._surface_cache[key] = self._surface.info(
+                site, self._site_owner.get(key), self.module_path
+            )
+        return self._surface_cache[key]
+
     # ------------------------------------------------------------------
     # token plumbing
     # ------------------------------------------------------------------
@@ -409,11 +505,12 @@ class FileFlow:
         )
 
     def accepts_token(self, site: CallSite) -> bool:
-        """Can the callee take a token (resolved signature or registry)?"""
+        """Can the callee take a token (resolved signature or surface)?"""
         target = self.resolved(site)
         if target is not None:
             return bool(target.token_params)
-        return site.name in TOKEN_CALLEES
+        info = self.external(site)
+        return info.accepts_token if info is not None else False
 
     # ------------------------------------------------------------------
     # fixpoints
@@ -421,11 +518,15 @@ class FileFlow:
     def _loop_fixpoint(self) -> Dict[FunctionInfo, bool]:
         loops: Dict[FunctionInfo, bool] = {}
         for fn in self.functions:
-            registry_call = any(
-                site.name in TOKEN_CALLEES and self.resolved(site) is None
-                for site in fn.calls
-            )
-            loops[fn] = bool(fn.own_loops) or registry_call
+            external_loop = False
+            for site in fn.calls:
+                if self.resolved(site) is not None:
+                    continue
+                info = self.external(site)
+                if info is not None and info.loops:
+                    external_loop = True
+                    break
+            loops[fn] = bool(fn.own_loops) or external_loop
         changed = True
         while changed:
             changed = False
@@ -505,24 +606,46 @@ class FileFlow:
     # ------------------------------------------------------------------
     # queries used by the rules
     # ------------------------------------------------------------------
+    @property
+    def hot(self) -> Set[FunctionInfo]:
+        if self._hot is None:
+            self._hot = self._hot_set()
+        return self._hot
+
+    def _loops_map(self) -> Dict[FunctionInfo, bool]:
+        if self._loops is None:
+            self._loops = self._loop_fixpoint()
+        return self._loops
+
+    def _cycles_set(self) -> Set[FunctionInfo]:
+        if self._cycles is None:
+            self._cycles = self._cycle_set()
+        return self._cycles
+
+    def _checkpoints_map(self) -> Dict[FunctionInfo, bool]:
+        if self._checkpoints is None:
+            self._checkpoints = self._checkpoint_fixpoint()
+        return self._checkpoints
+
     def transitively_loops(self, fn: FunctionInfo) -> bool:
-        return self._loops[fn] or fn in self._cycles
+        return self._loops_map()[fn] or fn in self._cycles_set()
 
     def transitively_checkpoints(self, fn: FunctionInfo) -> bool:
-        return self._checkpoints[fn]
+        return self._checkpoints_map()[fn]
 
     def is_recursive(self, fn: FunctionInfo) -> bool:
-        return fn in self._cycles
+        return fn in self._cycles_set()
 
     def is_hot(self, fn: FunctionInfo) -> bool:
         return fn in self.hot
 
     def call_loops(self, site: CallSite) -> bool:
-        """Does the call target loop (resolved fixpoint or registry)?"""
+        """Does the call target loop (resolved fixpoint or surface)?"""
         target = self.resolved(site)
         if target is not None:
             return self.transitively_loops(target)
-        return site.name in TOKEN_CALLEES
+        info = self.external(site)
+        return info.loops if info is not None else False
 
     def subtree_checkpoints(self, fn: FunctionInfo, root: ast.AST) -> bool:
         """Is there a token checkpoint lexically inside ``root``?

@@ -96,7 +96,14 @@ def _file_findings(ctx: FileContext) -> List[Finding]:
     cached = getattr(ctx, "_repro3_findings", None)
     if cached is not None:
         return cached
-    flow = FileFlow(ctx.tree, ctx.module_path)
+    flow = None
+    if ctx.program is not None:
+        # Whole-program run: reuse the model's per-file flow, whose
+        # external surface resolves cross-module calls for real instead
+        # of consulting the legacy TOKEN_CALLEES registry.
+        flow = ctx.program.flow_for(ctx.path)
+    if flow is None:
+        flow = FileFlow(ctx.tree, ctx.module_path)
     findings: List[Finding] = []
     _cancellation_findings(flow, findings)
     _budget_swallow_findings(ctx.tree, findings)

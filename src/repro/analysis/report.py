@@ -16,6 +16,23 @@ _SARIF_SCHEMA = (
 )
 
 
+def _driver_version() -> str:
+    """The installed distribution version, falling back to the package
+    constant for source-tree (PYTHONPATH=src) runs."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+    except ImportError:  # pragma: no cover - Python < 3.8
+        pass
+    else:
+        try:
+            return version("repro")
+        except PackageNotFoundError:
+            pass
+    import repro
+
+    return getattr(repro, "__version__", "0.0.0")
+
+
 def render_text(report: LintReport, statistics: bool = False) -> str:
     """flake8-style listing plus an optional per-rule summary."""
     lines: List[str] = [v.format() for v in report.violations]
@@ -104,16 +121,21 @@ def render_sarif(report: LintReport) -> str:
     """
     from repro.analysis.rules import all_rules
 
-    rules = [
-        {
-            "id": cls.rule_id,
-            "name": cls.name,
-            "shortDescription": {"text": cls.name},
-            "fullDescription": {"text": cls.rationale},
-            "defaultConfiguration": {"level": "error"},
-        }
-        for cls in all_rules()
-    ]
+    seen_rule_ids = set()
+    rules = []
+    for cls in all_rules():
+        if cls.rule_id in seen_rule_ids:
+            continue
+        seen_rule_ids.add(cls.rule_id)
+        rules.append(
+            {
+                "id": cls.rule_id,
+                "name": cls.name,
+                "shortDescription": {"text": cls.name},
+                "fullDescription": {"text": cls.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
     results = [_sarif_result(v) for v in report.violations]
     results.extend(
         _sarif_result(v, suppression="inSource")
@@ -131,6 +153,7 @@ def render_sarif(report: LintReport) -> str:
                 "tool": {
                     "driver": {
                         "name": "repro-analysis",
+                        "version": _driver_version(),
                         "rules": rules,
                     }
                 },

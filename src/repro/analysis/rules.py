@@ -23,9 +23,12 @@ justification.
 from __future__ import annotations
 
 import ast
-from typing import Callable, Dict, Iterable, List, Optional, Tuple, Type
+from typing import TYPE_CHECKING, Callable, Dict, Iterable, List, Optional, Tuple, Type
 
 from repro.analysis.violations import Violation
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.program import ProgramModel
 
 #: Packages whose dict-iteration order feeds canonical strings, feature
 #: ids, or embedding bookkeeping (REPRO101 is scoped to these).
@@ -64,6 +67,10 @@ class FileContext:
         #: repo-relative module path, normalized to ``repro/...`` form so
         #: path-scoped rules work no matter where the repo is checked out.
         self.module_path = _module_path(path)
+        #: shared whole-program model when linting a file set; None for
+        #: standalone single-file lints (rules then fall back to
+        #: per-file approximations).
+        self.program: Optional["ProgramModel"] = None
         self.parents: Dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):

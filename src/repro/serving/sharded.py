@@ -67,6 +67,12 @@ from repro.serving.faults import FaultPolicy
 from repro.serving.router import ShardMove, ShardRouter
 from repro.serving.stats import ShardedStats, TierCounters
 
+#: Last-resort join bound for deadline-free queries.  A shard thread
+#: wedged by a lock bug or a runaway backend surfaces as a shard
+#: timeout (full-universe unresolved bracket) instead of hanging the
+#: serving thread indefinitely.
+_UNBOUNDED_GATHER_CAP_S = 300.0
+
 
 class _ShardOutcome(NamedTuple):
     """What the gather observed for one shard's dispatch."""
@@ -460,7 +466,9 @@ class ShardedEngine:
             # Never join hung workers: a shard stalled past its deadline
             # must not stall the merge.  The abandoned thread finishes
             # (or sleeps) on its own; its result is simply unused.
-            pool.shutdown(wait=False)
+            # Queued-but-unstarted shards are cancelled outright so the
+            # abandoned pool cannot start new work after the gather.
+            pool.shutdown(wait=False, cancel_futures=True)
         faults = sum(1 for o in outcomes if o.status == "fault")
         timeouts = sum(1 for o in outcomes if o.status == "timeout")
         if faults or timeouts:
@@ -489,19 +497,23 @@ class ShardedEngine:
         futures: List[Tuple[int, "Future[List[QueryResult]]"]],
         deadline_s: Optional[float],
     ) -> List[_ShardOutcome]:
-        """Collect every shard, never waiting past deadline + grace."""
+        """Collect every shard, never waiting past deadline + grace.
+
+        Even without a client deadline the join is bounded: a wedged
+        shard thread (lock bug, runaway backend) must surface as a
+        shard timeout, not hang the serving thread forever.
+        """
         limit: Optional[float] = None
         if deadline_s is not None:
             limit = time.monotonic() + deadline_s + self._grace
         outcomes: List[_ShardOutcome] = []
         for sid, future in futures:
+            if limit is None:
+                wait_s = _UNBOUNDED_GATHER_CAP_S
+            else:
+                wait_s = max(0.0, limit - time.monotonic())
             try:
-                if limit is None:
-                    payload = future.result()
-                else:
-                    payload = future.result(
-                        timeout=max(0.0, limit - time.monotonic())
-                    )
+                payload = future.result(timeout=wait_s)
             except FuturesTimeout:
                 future.cancel()
                 outcomes.append(_ShardOutcome(sid, "timeout", None, None))

@@ -1,0 +1,188 @@
+"""Incremental lint cache: correctness first (cold == warm, content
+invalidation, select filtering from cached full-rule entries), then the
+speedup acceptance gate (warm ≥ 2x faster on the full src tree).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.analysis.cache import LintCache, analyzer_signature
+from repro.analysis.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+_CLEAN = "def helper(xs):\n    return sorted(xs)\n"
+_DIRTY = "def helper(xs):\n    return list(set(xs))\n"  # REPRO102
+_BARE_EXCEPT = (
+    "def load(path):\n"
+    "    try:\n"
+    "        return open(path).read()\n"
+    "    except:\n"
+    "        return None\n"
+)
+
+
+def _tree(tmp_path: Path, files) -> Path:
+    root = tmp_path / "proj"
+    for rel, source in files.items():
+        target = root / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return root
+
+
+def _key(report):
+    return [
+        (v.path, v.line, v.col, v.rule_id, v.message) for v in report.violations
+    ]
+
+
+def test_cold_and_warm_results_are_identical(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "repro/mining/a.py": _DIRTY,
+            "repro/mining/b.py": _CLEAN,
+            "repro/io/c.py": _BARE_EXCEPT,
+        },
+    )
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([root], cache_dir=cache_dir)
+    warm = lint_paths([root], cache_dir=cache_dir)
+    uncached = lint_paths([root])
+    assert _key(cold) == _key(warm) == _key(uncached)
+    assert cold.files_checked == warm.files_checked == 3
+    assert len(list(cache_dir.glob("*.json"))) == 3
+
+
+def test_content_change_invalidates(tmp_path):
+    root = _tree(tmp_path, {"repro/mining/a.py": _CLEAN})
+    cache_dir = tmp_path / "cache"
+    assert lint_paths([root], cache_dir=cache_dir).violations == []
+    (root / "repro" / "mining" / "a.py").write_text(_DIRTY)
+    report = lint_paths([root], cache_dir=cache_dir)
+    assert [v.rule_id for v in report.violations] == ["REPRO102"]
+
+
+def test_select_filters_cached_full_rule_entries(tmp_path):
+    """One full-rule entry serves every family selection: a warm
+    ``--select`` run returns exactly what an uncached selected run
+    would, without re-analyzing."""
+    root = _tree(
+        tmp_path,
+        {"repro/mining/a.py": _DIRTY, "repro/io/c.py": _BARE_EXCEPT},
+    )
+    cache_dir = tmp_path / "cache"
+    lint_paths([root], cache_dir=cache_dir)  # populate with full rules
+    entries_before = sorted(cache_dir.glob("*.json"))
+    warm = lint_paths([root], select=["REPRO102"], cache_dir=cache_dir)
+    assert _key(warm) == _key(lint_paths([root], select=["REPRO102"]))
+    assert [v.rule_id for v in warm.violations] == ["REPRO102"]
+    # the selected run reused the full-rule entries, adding none
+    assert sorted(cache_dir.glob("*.json")) == entries_before
+
+
+def test_noqa_suppressions_survive_the_cache(tmp_path):
+    root = _tree(
+        tmp_path,
+        {
+            "repro/mining/a.py": (
+                "def helper(xs):\n"
+                "    return list(set(xs))  # noqa: REPRO102 - fixture\n"
+            )
+        },
+    )
+    cache_dir = tmp_path / "cache"
+    cold = lint_paths([root], cache_dir=cache_dir)
+    warm = lint_paths([root], cache_dir=cache_dir)
+    for report in (cold, warm):
+        assert report.violations == []
+        assert [v.rule_id for v in report.suppressed_violations] == ["REPRO102"]
+
+
+def test_corrupt_entry_degrades_to_miss(tmp_path):
+    root = _tree(tmp_path, {"repro/mining/a.py": _DIRTY})
+    cache_dir = tmp_path / "cache"
+    lint_paths([root], cache_dir=cache_dir)
+    for entry in cache_dir.glob("*.json"):
+        entry.write_text("{not json")
+    report = lint_paths([root], cache_dir=cache_dir)
+    assert [v.rule_id for v in report.violations] == ["REPRO102"]
+
+
+def test_schema_mismatch_degrades_to_miss(tmp_path):
+    root = _tree(tmp_path, {"repro/mining/a.py": _DIRTY})
+    cache_dir = tmp_path / "cache"
+    lint_paths([root], cache_dir=cache_dir)
+    for entry in cache_dir.glob("*.json"):
+        payload = json.loads(entry.read_text())
+        payload["schema"] = 999
+        entry.write_text(json.dumps(payload))
+    report = lint_paths([root], cache_dir=cache_dir)
+    assert [v.rule_id for v in report.violations] == ["REPRO102"]
+
+
+def test_unwritable_cache_dir_degrades_to_no_cache(tmp_path):
+    root = _tree(tmp_path, {"repro/mining/a.py": _DIRTY})
+    blocker = tmp_path / "blocked"
+    blocker.write_text("a file where the cache dir should go")
+    report = lint_paths([root], cache_dir=blocker)
+    assert [v.rule_id for v in report.violations] == ["REPRO102"]
+
+
+def test_analyzer_signature_is_stable_and_covers_rules():
+    assert analyzer_signature() == analyzer_signature()
+    cache = LintCache("/nonexistent")
+    assert cache.load("no-such-key") is None
+
+
+def test_warm_run_is_at_least_2x_faster_on_src_tree(tmp_path):
+    cache_dir = tmp_path / "cache"
+    t0 = time.perf_counter()
+    cold = lint_paths([SRC / "repro"], cache_dir=cache_dir)
+    cold_s = time.perf_counter() - t0
+    t1 = time.perf_counter()
+    warm = lint_paths([SRC / "repro"], cache_dir=cache_dir)
+    warm_s = time.perf_counter() - t1
+    assert _key(cold) == _key(warm)
+    assert cold.files_checked == warm.files_checked > 50
+    assert warm_s * 2 <= cold_s, (
+        f"warm run not ≥2x faster: cold={cold_s:.3f}s warm={warm_s:.3f}s"
+    )
+
+
+def _run_cli(*argv, cwd=REPO_ROOT):
+    env = dict(os.environ, PYTHONPATH=str(SRC))
+    return subprocess.run(
+        [sys.executable, "-m", "repro.analysis", *argv],
+        cwd=cwd,
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+
+
+def test_cli_cache_dir_and_no_cache_flags(tmp_path):
+    root = _tree(tmp_path, {"repro/mining/a.py": _DIRTY})
+    cache_dir = tmp_path / "clicache"
+    proc = _run_cli("lint", "--cache-dir", str(cache_dir), str(root))
+    assert proc.returncode == 1
+    assert "REPRO102" in proc.stdout
+    assert list(cache_dir.glob("*.json")), "cache not populated"
+    warm = _run_cli("lint", "--cache-dir", str(cache_dir), str(root))
+    assert warm.returncode == 1
+    assert "REPRO102" in warm.stdout
+
+    bypass_dir = tmp_path / "nocache"
+    proc = _run_cli(
+        "lint", "--no-cache", "--cache-dir", str(bypass_dir), str(root)
+    )
+    assert proc.returncode == 1
+    assert not bypass_dir.exists(), "--no-cache must not touch the cache dir"

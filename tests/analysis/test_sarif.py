@@ -67,10 +67,15 @@ def test_sarif_structure_and_rule_metadata(tmp_path):
     (run,) = payload["runs"]
     driver = run["tool"]["driver"]
     assert driver["name"] == "repro-analysis"
-    # every registered rule ships metadata, found or not
-    assert {r["id"] for r in driver["rules"]} == {
-        cls.rule_id for cls in all_rules()
-    }
+    # the driver reports the installed distribution version (falling
+    # back to repro.__version__ for PYTHONPATH=src runs)
+    import re
+
+    assert re.fullmatch(r"\d+(\.\d+)*([a-z0-9.+-]*)?", driver["version"])
+    # every registered rule ships metadata exactly once, found or not
+    rule_ids = [r["id"] for r in driver["rules"]]
+    assert len(rule_ids) == len(set(rule_ids)), "duplicate rule metadata"
+    assert set(rule_ids) == {cls.rule_id for cls in all_rules()}
     for rule in driver["rules"]:
         assert rule["fullDescription"]["text"]
 
