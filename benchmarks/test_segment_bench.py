@@ -1,0 +1,145 @@
+"""Segment storage (format v3) bench: cold open, footprint, maintenance.
+
+Three measurements over per-scale chemical corpora, all against the v2
+JSON store as the baseline:
+
+* **cold open** — ``load_index`` wall time for the JSON document (full
+  parse + column materialization) vs the segment directory (manifest +
+  headers only).  The O(manifest) contract is asserted, not just
+  timed: ``SegmentStore.columns_touched()`` must be 0 after the open.
+* **resident footprint** — heap bytes of the in-memory columns vs
+  mapped bytes of the segment file (whose pages stay on disk until a
+  query faults them in).
+* **maintenance throughput** — insert ops/s through the memtable →
+  delta-flush path, and the wall time of one full compaction, with the
+  answer-parity gate re-checked after both.
+
+Emits ``bench_results/segment_storage.csv``.  The acceptance gate is
+parity: the mmap-backed engine must return exactly the in-memory
+engine's answers on every probe, before and after maintenance.
+"""
+
+import random
+import time
+
+from conftest import publish
+
+from repro.bench import Table
+from repro.core import QueryEngine, TreePiConfig, TreePiIndex
+from repro.datasets import extract_query_workload, generate_aids_like
+from repro.mining import SupportFunction
+from repro.persistence import load_index, save_index
+
+REPEATS = 5
+
+
+def best_of(fn):
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best * 1000.0
+
+
+def test_segment_storage(tmp_path):
+    from repro.bench import current_scale
+
+    scale = current_scale()
+    table = Table(
+        title="Format v3 segment storage vs v2 JSON (cold open / bytes / maintenance)",
+        columns=[
+            "graphs",
+            "features",
+            "json_load_ms",
+            "mmap_open_ms",
+            "open_speedup",
+            "cols_touched_cold",
+            "heap_bytes",
+            "mapped_bytes",
+            "insert_ops_s",
+            "flushes",
+            "compact_ms",
+        ],
+    )
+
+    for i, size in enumerate(scale.db_sizes[:3]):
+        db = generate_aids_like(size, avg_atoms=scale.avg_atoms, seed=31 + i)
+        config = TreePiConfig(
+            SupportFunction(2, 2.0, min(scale.eta, 5)), gamma=1.2, seed=7
+        )
+        index = TreePiIndex.build(db, config)
+        queries = extract_query_workload(db, 4, 8, seed=91 + i)
+
+        json_path = tmp_path / f"idx-{size}.json"
+        seg_root = tmp_path / f"idx-{size}.v3"
+        save_index(index, json_path)
+        save_index(index, seg_root, version=3)
+
+        json_load_ms = best_of(lambda: load_index(json_path))
+        opened = []
+
+        def open_v3():
+            ix = load_index(seg_root)
+            opened.append(ix)
+
+        mmap_open_ms = best_of(open_v3)
+        for ix in opened[:-1]:
+            ix.segment_store.close()
+        loaded = opened[-1]
+        store = loaded.segment_store
+        # The cold-open contract, asserted: no posting/center column was
+        # faulted by the open itself.
+        cols_cold = store.columns_touched()
+        assert cols_cold == 0
+
+        eng_mem = QueryEngine(index, cache_size=0)
+        eng_map = QueryEngine(loaded, cache_size=0)
+        for q in queries:
+            assert eng_map.query(q).matches == eng_mem.query(q).matches
+
+        # Maintenance throughput: insert a 10% churn batch through the
+        # memtable/delta path, then compact once.
+        churn = generate_aids_like(
+            max(4, size // 10), avg_atoms=scale.avg_atoms, seed=77 + i
+        )
+        churn_graphs = [churn[g] for g in churn.graph_ids()]
+        t0 = time.perf_counter()
+        for graph in churn_graphs:
+            eng_mem.insert(graph)
+            eng_map.insert(graph)
+        insert_s = time.perf_counter() - t0
+        rng = random.Random(13)
+        for gid in rng.sample(db.graph_ids(), max(1, size // 20)):
+            eng_mem.delete(gid)
+            eng_map.delete(gid)
+        eng_map.flush()
+        t0 = time.perf_counter()
+        eng_map.compact()
+        compact_ms = (time.perf_counter() - t0) * 1000.0
+        stats = eng_map.stats
+        assert stats.rebuilds == 0  # maintenance never rebuilt
+        for q in queries:
+            assert eng_map.query(q).matches == eng_mem.query(q).matches
+
+        table.add_row(
+            size,
+            len(loaded.features),
+            json_load_ms,
+            mmap_open_ms,
+            json_load_ms / max(mmap_open_ms, 1e-9),
+            cols_cold,
+            index.storage_bytes(),
+            store.nbytes(),
+            (2 * len(churn_graphs)) / max(insert_s, 1e-9),
+            stats.flushes,
+            compact_ms,
+        )
+        store.close()
+
+    table.notes.append(
+        "parity gate: mmap answers == in-memory answers on every probe, "
+        "before and after insert/delete/flush/compact; cols_touched_cold "
+        "must be 0 (cold open reads manifest + headers only)"
+    )
+    publish(table, "segment_storage")

@@ -54,7 +54,13 @@ __all__ = [
 Finding = Tuple[str, ast.AST, str]
 
 #: Constructors that acquire an owned resource when not used via ``with``.
-_RESOURCE_CTORS = frozenset({"ThreadPoolExecutor", "ProcessPoolExecutor", "open"})
+#: ``mmap`` matches both ``mmap.mmap(...)`` and a bare ``mmap(...)`` —
+#: the segment reader holds maps open across calls, so a map acquired
+#: and then abandoned on an exception path is a real leak (address
+#: space + file reference), same as an unreleased pool or handle.
+_RESOURCE_CTORS = frozenset(
+    {"ThreadPoolExecutor", "ProcessPoolExecutor", "open", "mmap"}
+)
 #: Calls that release such a resource.
 _CLEANUP_ATTRS = frozenset({"shutdown", "close", "release", "terminate"})
 #: Modules whose query spine carries the degradation contract.

@@ -90,13 +90,17 @@ def _cmd_build(args: argparse.Namespace) -> int:
     start = time.perf_counter()
     index = TreePiIndex.build(database, config)
     elapsed = time.perf_counter() - start
-    save_index(index, args.out)
+    if args.mmap:
+        save_index(index, args.out, version=3)
+    else:
+        save_index(index, args.out)
     print(
         f"built index over {len(database)} graphs in {elapsed:.2f}s: "
         f"{index.feature_count()} features "
         f"(by size {dict(sorted(index.stats.features_by_size.items()))})"
     )
-    print(f"saved to {args.out}")
+    kind = "segment directory (v3, mmap)" if args.mmap else "index"
+    print(f"saved {kind} to {args.out}")
     return 0
 
 
@@ -180,6 +184,72 @@ def _cmd_query(args: argparse.Namespace) -> int:
                 f"{stats.unresolved_candidates} unresolved candidates, "
                 f"{stats.prune_exhausted} prune-budget exhaustions"
             )
+    return 0
+
+
+def _cmd_index_segments(args: argparse.Namespace) -> int:
+    """Per-segment stats of a v3 directory (no feature decode, no build)."""
+    from pathlib import Path
+
+    from repro.storage.segments import SegmentStore
+
+    root = Path(args.index)
+    if not root.is_dir():
+        print(f"error: {root} is not a v3 segment directory", file=sys.stderr)
+        return 2
+    store = SegmentStore.open(root)
+    try:
+        rows = store.describe()
+        header = f"{'segment':<18}{'graphs':>8}{'live':>8}{'dead':>8}{'features':>10}{'bytes':>12}"
+        print(header)
+        print("-" * len(header))
+        for row in rows:
+            print(
+                f"{row['segment']:<18}{row['graphs']:>8}{row['live']:>8}"
+                f"{row['tombstoned']:>8}{row['features']:>10}{row['bytes']:>12}"
+            )
+        manifest = store.manifest
+        print(
+            f"{len(rows)} segment(s) ({store.delta_count} delta), "
+            f"{manifest['graphs']} live graphs, "
+            f"{len(store.tombstones)} tombstone(s), "
+            f"{store.nbytes()} mapped bytes"
+        )
+        print(
+            f"knobs: memtable_limit={store.memtable_limit} "
+            f"compact_threshold={store.compact_threshold}"
+        )
+        if store.needs_compaction():
+            print("compaction recommended: run `repro index compact`")
+    finally:
+        store.close()
+    return 0
+
+
+def _cmd_index_compact(args: argparse.Namespace) -> int:
+    """Fold base + deltas − tombstones into one fresh base segment."""
+    from pathlib import Path
+
+    root = Path(args.index)
+    if not root.is_dir():
+        print(f"error: {root} is not a v3 segment directory", file=sys.stderr)
+        return 2
+    index = load_index(root)
+    store = index.segment_store
+    assert store is not None
+    before = store.segment_count
+    engine = QueryEngine(index, cache_size=0)
+    start = time.perf_counter()
+    did = engine.compact()
+    elapsed = time.perf_counter() - start
+    if did:
+        print(
+            f"compacted {before} segment(s) -> {store.segment_count} "
+            f"in {elapsed:.2f}s ({store.nbytes()} mapped bytes)"
+        )
+    else:
+        print(f"nothing to compact ({before} segment(s), no tombstones)")
+    store.close()
     return 0
 
 
@@ -284,6 +354,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="process-pool width for parallel construction "
              "(the saved index is identical for every value)",
     )
+    build.add_argument(
+        "--mmap", action="store_true",
+        help="save as a memory-mapped segment directory (format v3): "
+             "--out becomes a directory, loads are O(manifest) cold and "
+             "columns page in on demand; insert/delete append to delta "
+             "segments instead of triggering rebuilds",
+    )
     build.set_defaults(func=_cmd_build)
 
     query = sub.add_parser("query", help="run query graphs against a saved index")
@@ -321,6 +398,22 @@ def build_parser() -> argparse.ArgumentParser:
     info = sub.add_parser("info", help="summarize a saved index")
     info.add_argument("--index", required=True)
     info.set_defaults(func=_cmd_info)
+
+    index_cmd = sub.add_parser(
+        "index", help="maintain a v3 (mmap) segment directory"
+    )
+    index_sub = index_cmd.add_subparsers(dest="index_command", required=True)
+    segments = index_sub.add_parser(
+        "segments", help="print per-segment statistics"
+    )
+    segments.add_argument("--index", required=True, help="v3 segment directory")
+    segments.set_defaults(func=_cmd_index_segments)
+    compact = index_sub.add_parser(
+        "compact",
+        help="fold base + delta segments - tombstones into one base segment",
+    )
+    compact.add_argument("--index", required=True, help="v3 segment directory")
+    compact.set_defaults(func=_cmd_index_compact)
 
     bench = sub.add_parser("bench", help="run one paper-figure experiment")
     bench.add_argument("--figure", choices=sorted(_FIGURES), required=True)

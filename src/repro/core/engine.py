@@ -367,6 +367,7 @@ class QueryEngine:
         with self._rw.write_locked():
             gid = self._index.insert(graph, graph_id=graph_id)
             self._invalidate("inserts")
+            self._note_maintenance()
         return gid
 
     def delete(self, graph_id: int) -> None:
@@ -374,6 +375,20 @@ class QueryEngine:
         with self._rw.write_locked():
             self._index.delete(graph_id)
             self._invalidate("deletes")
+            self._note_maintenance()
+
+    def _note_maintenance(self) -> None:
+        """Post-mutation hook (write lock held): flush full memtables.
+
+        A no-op on in-memory indexes.  On a segment-backed index the
+        buffered insert/delete ops spill to an immutable delta segment
+        once the memtable threshold trips; readers switch to the mapped
+        layer without any answer change, so no extra invalidation is
+        needed beyond the one the mutation already did.
+        """
+        if self._index.maybe_flush_segments():
+            with self._mutex:
+                self._counters.flushes += 1
 
     def rebuild(self) -> None:
         """Reconstruct the index from the current database state in place.
@@ -406,6 +421,48 @@ class QueryEngine:
     def needs_rebuild(self) -> bool:
         with self._rw.read_locked():
             return self._index.needs_rebuild()
+
+    def flush(self) -> bool:
+        """Force-flush buffered segment maintenance (no-op when in-memory)."""
+        with self._rw.write_locked():
+            flushed = self._index.flush_segments()
+        if flushed:
+            with self._mutex:
+                self._counters.flushes += 1
+        return flushed
+
+    def needs_compaction(self) -> bool:
+        """True when the served index accumulated enough delta segments."""
+        with self._rw.read_locked():
+            return self._index.needs_compaction()
+
+    def compact(self) -> bool:
+        """Fold base + deltas − tombstones into one fresh base segment.
+
+        Mirrors :meth:`rebuild`'s optimistic pattern: the expensive merge
+        (:meth:`TreePiIndex.prepare_compaction`, a full checkpoint of the
+        live view) runs under the *read* lock, concurrently with queries.
+        The writer lock is taken only to publish; if maintenance raced
+        the merge (generation moved), the staged segment is discarded and
+        the merge retried against the new state.  Returns ``False`` when
+        the index is not segment-backed or there was nothing to fold.
+        """
+        while True:
+            with self._mutex:
+                observed = self._generation
+            with self._rw.read_locked():
+                plan = self._index.prepare_compaction()
+            if plan is None:
+                return False
+            with self._rw.write_locked():
+                with self._mutex:
+                    raced = self._generation != observed
+                if raced:
+                    plan.discard()
+                    continue
+                self._index.commit_compaction(plan)
+                self._invalidate("compactions")
+                return True
 
     # ------------------------------------------------------------------
     # internals
@@ -605,3 +662,60 @@ class QueryEngine:
         for outcome in outcomes:
             outcome.matches = frozenset(outcome.matched)
         return outcomes
+
+
+class BackgroundCompactor:
+    """A daemon thread that folds delta segments as they accumulate.
+
+    Polls :meth:`QueryEngine.needs_compaction` every ``interval`` seconds
+    and runs :meth:`QueryEngine.compact` when it trips.  All locking
+    lives in the engine (read-locked merge, write-locked publish with a
+    generation check), so the thread body is a plain poll loop; stopping
+    waits for any in-flight compaction to finish publishing.
+
+    Usable as a context manager::
+
+        with BackgroundCompactor(engine, interval=0.05):
+            ... serve traffic ...
+    """
+
+    def __init__(self, engine: QueryEngine, interval: float = 1.0) -> None:
+        if interval <= 0:
+            raise IndexError_(f"interval must be > 0, got {interval}")
+        self._engine = engine
+        self._interval = interval
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> None:
+        if self.running:
+            raise IndexError_("compactor already running")
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="treepi-compactor", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Signal the loop and join (waits out an in-flight compaction)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if self._engine.needs_compaction():
+                self._engine.compact()
+
+    def __enter__(self) -> "BackgroundCompactor":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -19,20 +19,30 @@ directly, with no per-query frozenset materialization.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, Mapping, Optional, Union
 
 from repro.graphs.graph import LabeledGraph
 from repro.mining.patterns import MinedPattern
 from repro.storage import OccurrenceStore, PostingList
 from repro.trees.center import Center, tree_center
 
+if TYPE_CHECKING:
+    from repro.storage.segments import LsmStore
+
 CenterSet = FrozenSet[Center]
+
+#: A feature's occurrence backing: the heap columnar store, or the
+#: merged LSM view over memory-mapped segment layers.  Both expose the
+#: identical read/maintenance surface used below.
+StoreLike = Union[OccurrenceStore, "LsmStore"]
 
 
 class FeatureTree:
     """One indexed feature tree with its exact occurrence locations."""
 
     __slots__ = ("feature_id", "tree", "key", "center", "store")
+
+    store: StoreLike
 
     def __init__(
         self,
@@ -41,7 +51,7 @@ class FeatureTree:
         key: str,
         center: Center,
         locations: Optional[Mapping[int, Iterable[Center]]] = None,
-        store: Optional[OccurrenceStore] = None,
+        store: Optional[StoreLike] = None,
     ) -> None:
         self.feature_id = feature_id
         self.tree = tree

@@ -51,6 +51,9 @@ class EngineStats:
     inserts: int = 0
     deletes: int = 0
     rebuilds: int = 0
+    # --- segment-backed (format v3) maintenance counters ---------------
+    flushes: int = 0                 # memtable flushes to delta segments
+    compactions: int = 0             # delta folds published via compact()
     # --- deadline / degradation counters (budgeted calls only) ---------
     timeouts: int = 0                # budgets that expired mid-pipeline
     degraded_results: int = 0        # results returned with complete=False

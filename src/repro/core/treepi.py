@@ -20,7 +20,7 @@ import random
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.flow import hot_path
 from repro.analysis.guards import guarded_by
@@ -43,6 +43,9 @@ from repro.mining.support import SupportFunction
 from repro.storage import PostingList
 from repro.trees.canonical import tree_canonical_string
 from repro.trees.center import tree_center
+
+if TYPE_CHECKING:
+    from repro.storage.segments import CompactionPlan, SegmentStore
 
 
 def _augmentation_keys(
@@ -215,6 +218,10 @@ class TreePiIndex:
         # this index, direct maintenance calls must hold its write lock
         # (enforced by @guarded_by under REPRO_CONTRACTS=1).
         self._serving_lock: Optional[object] = None
+        # Set by attach_segment_store for v3 (mmap-backed) indexes:
+        # maintenance then buffers into memtables/tombstones instead of
+        # advertising rebuilds, and flushes/compacts through the store.
+        self._segment_store: Optional["SegmentStore"] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -606,6 +613,8 @@ class TreePiIndex:
                     key=key,
                     center=tree_center(probe),
                 )
+                if self._segment_store is not None:
+                    self._segment_store.adopt_feature(feature)
                 self._features.append(feature)
                 self._lookup[key] = feature
                 self._trie.insert(key, feature.feature_id)
@@ -629,6 +638,8 @@ class TreePiIndex:
             }
             feature.add_occurrences(gid, centers)
         self._churn += 1
+        if self._segment_store is not None:
+            self._segment_store.note_insert()
         return gid
 
     @guarded_by("_serving_lock", mode="write")
@@ -639,6 +650,8 @@ class TreePiIndex:
             feature.remove_graph(graph_id)
         self._oracles.pop(graph_id, None)
         self._churn += 1
+        if self._segment_store is not None:
+            self._segment_store.note_delete(graph_id)
 
     @property
     def churn_fraction(self) -> float:
@@ -646,9 +659,92 @@ class TreePiIndex:
         return self._churn / max(1, self._build_size)
 
     def needs_rebuild(self) -> bool:
-        """Section 7.1's guidance: rebuild after ~25% of graphs changed."""
+        """Section 7.1's guidance: rebuild after ~25% of graphs changed.
+
+        A segment-backed index never advertises one: maintenance is
+        absorbed by delta segments and folded by compaction, which
+        preserves answers exactly — the rebuild heuristic exists to
+        re-mine features, and the LSM path keeps the feature set exact
+        incrementally (new edge types materialize on insert, dead data
+        is tombstoned out).
+        """
+        if self._segment_store is not None:
+            return False
         return self.churn_fraction >= 0.25
 
     def rebuild(self) -> "TreePiIndex":
         """Reconstruct the feature set from the current database state."""
         return TreePiIndex.build(self._db, self._config)
+
+    # ------------------------------------------------------------------
+    # segment-backed maintenance (format v3)
+    # ------------------------------------------------------------------
+    @property
+    def segment_backed(self) -> bool:
+        """True when this index maintains an mmap segment directory."""
+        return self._segment_store is not None
+
+    @property
+    def segment_store(self) -> Optional["SegmentStore"]:
+        return self._segment_store
+
+    def attach_segment_store(self, store: "SegmentStore") -> None:
+        """Bind the segment directory this index was loaded from.
+
+        Hands the store the live database and the index's *own* feature
+        list (so features materialized by later inserts participate in
+        flushes), after which ``insert``/``delete`` become memtable/
+        tombstone appends and ``needs_rebuild`` stays False forever.
+        """
+        from repro.storage.segments import SegmentGraphDatabase
+
+        if not isinstance(self._db, SegmentGraphDatabase):
+            raise IndexError_(
+                "attach_segment_store requires a SegmentGraphDatabase-"
+                "backed index (load it with load_index on a v3 directory)"
+            )
+        self._segment_store = store
+        store.attach(self._db, self._features)
+
+    @guarded_by("_serving_lock", mode="write")
+    def maybe_flush_segments(self) -> bool:
+        """Flush the memtables iff the buffered-op threshold tripped."""
+        store = self._segment_store
+        if store is None or not store.should_flush():
+            return False
+        return store.flush()
+
+    @guarded_by("_serving_lock", mode="write")
+    def flush_segments(self) -> bool:
+        """Unconditionally persist buffered maintenance (delta + manifest)."""
+        store = self._segment_store
+        if store is None:
+            return False
+        return store.flush()
+
+    def needs_compaction(self) -> bool:
+        """True when enough delta segments accumulated to fold."""
+        store = self._segment_store
+        return store is not None and store.needs_compaction()
+
+    @guarded_by("_serving_lock", mode="read")
+    def prepare_compaction(self) -> Optional["CompactionPlan"]:
+        """Stage the fully merged segment in a temp file (read-only).
+
+        Safe under the engine's *read* lock — the expensive merge runs
+        concurrently with queries, mirroring how ``rebuild`` keeps the
+        build outside the writer lock.  Returns None when the index is
+        not segment-backed or there is nothing to fold.
+        """
+        store = self._segment_store
+        if store is None:
+            return None
+        return store.prepare_compaction()
+
+    @guarded_by("_serving_lock", mode="write")
+    def commit_compaction(self, plan: "CompactionPlan") -> None:
+        """Publish a staged compaction (write lock held by the engine)."""
+        store = self._segment_store
+        if store is None:
+            raise IndexError_("index is not segment-backed")
+        store.commit_compaction(plan)

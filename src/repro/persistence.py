@@ -6,19 +6,25 @@ sets — everything :class:`repro.core.TreePiIndex` holds.  Loading
 reconstructs an index that answers queries identically to the original
 (tested byte-for-byte on query results).
 
-Two format versions are understood:
+Three format versions are understood:
 
 * **v1** (legacy) tags every label occurrence with its type and spells
   each center location as a nested list — verbose but self-describing.
-* **v2** (current, :data:`FORMAT_VERSION`) stores one
+* **v2** (default, :data:`FORMAT_VERSION`) stores one
   :class:`~repro.storage.LabelInterner` table per document and
   references labels by dense id everywhere; feature occurrences are the
   raw :class:`~repro.storage.OccurrenceStore` columns (sorted graph-id
   column, offset column, delta-encoded flattened center column).
+* **v3** is not a JSON document at all: ``save_index(index, path,
+  version=3)`` writes a *segment directory* (binary column files plus a
+  small manifest — see :mod:`repro.storage.segments`), and
+  ``load_index`` of a directory opens it lazily, memory-mapping the
+  columns instead of deserializing them.
 
-``save_index`` writes v2; ``load_index`` accepts both, and an unknown or
-future version raises :class:`~repro.exceptions.SerializationError` with
-an actionable message instead of mis-decoding.
+``save_index`` writes v2 by default; ``load_index`` accepts all three,
+and an unknown or future version raises
+:class:`~repro.exceptions.SerializationError` with an actionable message
+instead of mis-decoding.
 
 Labels are stored with explicit type tags so integers, strings, and the
 tuple labels produced by the directed subdivision encoding all round-trip
@@ -41,45 +47,27 @@ from repro.mining.subtree_miner import MiningStats
 from repro.mining.support import SupportFunction
 from repro.storage import LabelInterner, OccurrenceStore
 
+# The typed-label and interned-graph codecs are shared with the v3
+# segment writer and live below both layers; re-exported here because
+# this module is their historical home.
+from repro.storage.codec import (
+    decode_label,
+    encode_label,
+    graph_from_columns as _graph_from_columns,
+    graph_to_columns as _graph_to_columns,
+)
+from repro.storage.segments import (
+    DEFAULT_COMPACT_THRESHOLD,
+    DEFAULT_MEMTABLE_LIMIT,
+    LsmStore,
+    SegmentGraphDatabase,
+    SegmentStore,
+    initialize_directory,
+)
+
 FORMAT_NAME = "treepi-index"
 FORMAT_VERSION = 2
-SUPPORTED_VERSIONS = (1, 2)
-
-
-# ----------------------------------------------------------------------
-# typed labels
-# ----------------------------------------------------------------------
-def encode_label(label: Any) -> Any:
-    if isinstance(label, bool):
-        raise SerializationError("boolean labels are not supported")
-    if isinstance(label, int):
-        return {"i": label}
-    if isinstance(label, float):
-        return {"f": label}
-    if isinstance(label, str):
-        return {"s": label}
-    if isinstance(label, (tuple, list)):
-        return {"t": [encode_label(item) for item in label]}
-    if label is None:
-        return {"n": True}
-    raise SerializationError(f"unsupported label type {type(label).__name__}")
-
-
-def decode_label(data: Any) -> Any:
-    if not isinstance(data, dict) or len(data) != 1:
-        raise SerializationError(f"malformed label record {data!r}")
-    ((kind, value),) = data.items()
-    if kind == "i":
-        return int(value)
-    if kind == "f":
-        return float(value)
-    if kind == "s":
-        return str(value)
-    if kind == "t":
-        return tuple(decode_label(item) for item in value)
-    if kind == "n":
-        return None
-    raise SerializationError(f"unknown label kind {kind!r}")
+SUPPORTED_VERSIONS = (1, 2, 3)
 
 
 # ----------------------------------------------------------------------
@@ -109,7 +97,7 @@ def graph_from_json(data: Dict[str, Any], graph_id: Optional[int] = None) -> Lab
 # ----------------------------------------------------------------------
 # config / stats
 # ----------------------------------------------------------------------
-def _config_to_json(config: TreePiConfig) -> Dict[str, Any]:
+def config_to_json(config: TreePiConfig) -> Dict[str, Any]:
     # ``workers`` is deliberately absent: it is a runtime knob that cannot
     # change what gets built (the parallel build merges in canonical-key
     # order), and serializing it would break the guarantee that indexes
@@ -131,7 +119,12 @@ def _config_to_json(config: TreePiConfig) -> Dict[str, Any]:
     }
 
 
-def _config_from_json(data: Dict[str, Any]) -> TreePiConfig:
+#: Backwards-compatible private aliases (the public names are what the
+#: sharded serving tier persists in its ``shards.json``).
+_config_to_json = config_to_json
+
+
+def config_from_json(data: Dict[str, Any]) -> TreePiConfig:
     return TreePiConfig(
         support=SupportFunction(data["alpha"], data["beta"], data["eta"]),
         gamma=data["gamma"],
@@ -145,6 +138,9 @@ def _config_from_json(data: Dict[str, Any]) -> TreePiConfig:
         max_embeddings_per_graph=data["max_embeddings_per_graph"],
         seed=data["seed"],
     )
+
+
+_config_from_json = config_from_json
 
 
 def _stats_to_json(stats: IndexStats) -> Dict[str, Any]:
@@ -218,29 +214,6 @@ def _feature_from_json_v1(data: Dict[str, Any]) -> FeatureTree:
 # ----------------------------------------------------------------------
 # v2: interned label columns + occurrence-store columns
 # ----------------------------------------------------------------------
-def _graph_to_columns(graph: LabeledGraph, interner: LabelInterner) -> Dict[str, Any]:
-    return {
-        "v": [interner.intern(label) for label in graph.vertex_labels()],
-        "e": [
-            [u, v, interner.intern(label)] for u, v, label in graph.edges()
-        ],
-    }
-
-
-def _graph_from_columns(
-    data: Dict[str, Any], labels: List[Any], graph_id: Optional[int] = None
-) -> LabeledGraph:
-    try:
-        graph = LabeledGraph(
-            [labels[lid] for lid in data["v"]], graph_id=graph_id
-        )
-        for u, v, lid in data["e"]:
-            graph.add_edge(u, v, labels[lid])
-    except (KeyError, TypeError, ValueError, IndexError) as exc:
-        raise SerializationError(f"malformed v2 graph record: {exc}") from exc
-    return graph
-
-
 def _feature_to_json_v2(
     feature: FeatureTree, interner: LabelInterner
 ) -> Dict[str, Any]:
@@ -286,6 +259,11 @@ def index_to_json(
             f"cannot write index format version {version!r}; "
             f"this build supports {SUPPORTED_VERSIONS}"
         )
+    if version == 3:
+        raise SerializationError(
+            "index format v3 is a binary segment directory and has no "
+            "JSON document form; use save_index(index, path, version=3)"
+        )
     db = index.database
     if version == 1:
         return {
@@ -318,25 +296,36 @@ def index_to_json(
     }
 
 
-def index_from_json(data: Dict[str, Any]) -> TreePiIndex:
-    """Reconstruct an index from any supported format version.
+def index_from_json(
+    data: Dict[str, Any], source: Optional[Union[str, Path]] = None
+) -> TreePiIndex:
+    """Reconstruct an index from any supported JSON format version.
 
     Version negotiation is explicit: documents declaring a version this
     build does not know (e.g. one written by a newer release) are
-    rejected with a :class:`SerializationError` telling the operator
-    what to do, rather than being half-decoded into a wrong index.
+    rejected with a :class:`SerializationError` naming ``source`` (the
+    file the document came from, when known) and the full
+    :data:`SUPPORTED_VERSIONS` tuple, rather than being half-decoded
+    into a wrong index.
     """
     if data.get("format") != FORMAT_NAME:
         raise SerializationError(f"not a {FORMAT_NAME} document")
     version = data.get("version")
     if version not in SUPPORTED_VERSIONS:
+        where = f" in {source}" if source is not None else ""
         raise SerializationError(
-            f"index format version {version!r} is not supported by this "
-            f"build (supported: {', '.join(map(str, SUPPORTED_VERSIONS))}). "
+            f"index format version {version!r}{where} is not supported by "
+            f"this build (supported versions: {SUPPORTED_VERSIONS}). "
             "The document was probably written by a newer release — "
             "upgrade this installation, or re-save the index with "
             f"index_to_json(index, version={FORMAT_VERSION}) from the "
             "release that produced it."
+        )
+    if version == 3:
+        where = f" ({source})" if source is not None else ""
+        raise SerializationError(
+            "index format version 3 is a segment directory, not a JSON "
+            f"document{where}; pass the directory path to load_index()"
         )
     config = _config_from_json(data["config"])
     stats = _stats_from_json(data["stats"])
@@ -360,16 +349,127 @@ def index_from_json(data: Dict[str, Any]) -> TreePiIndex:
 def save_index(
     index: TreePiIndex, path: Union[str, Path], version: int = FORMAT_VERSION
 ) -> None:
-    """Write the index (database included) as a JSON document."""
+    """Write the index (database included) to ``path``.
+
+    Versions 1 and 2 write a single JSON document; version 3 writes a
+    *segment directory* (see :func:`save_segment_index`).
+    """
+    if version == 3:
+        save_segment_index(index, path)
+        return
     with open(path, "w") as f:
         json.dump(index_to_json(index, version=version), f)
 
 
 def load_index(path: Union[str, Path]) -> TreePiIndex:
-    """Reload an index saved by :func:`save_index`; no re-mining happens."""
+    """Reload an index saved by :func:`save_index`; no re-mining happens.
+
+    A directory is opened as a v3 segment directory (lazily — columns
+    stay memory-mapped and unread until queries touch them); a file is
+    parsed as a v1/v2 JSON document.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return load_segment_index(path)
     with open(path) as f:
         try:
             data = json.load(f)
         except json.JSONDecodeError as exc:
             raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
-    return index_from_json(data)
+    return index_from_json(data, source=path)
+
+
+# ----------------------------------------------------------------------
+# v3: memory-mapped segment directories
+# ----------------------------------------------------------------------
+def save_segment_index(index: TreePiIndex, root: Union[str, Path]) -> None:
+    """Write ``index`` as a fresh v3 directory with one base segment.
+
+    The base segment holds every live graph and the fully merged
+    occurrence columns of every feature, so saving an LSM-maintained
+    index is also an offline compaction.
+    """
+    db = index.database
+    ids = db.graph_ids()
+    graphs = [db[gid] for gid in ids]
+    payloads = [
+        (
+            feature.feature_id,
+            feature.key,
+            tuple(feature.center),
+            feature.tree,
+            feature.store.columns(),
+        )
+        for feature in index.features
+    ]
+    next_graph_id = (max(ids) + 1) if ids else 0
+    initialize_directory(
+        Path(root),
+        graphs,
+        payloads,
+        next_graph_id,
+        extra={
+            "config": config_to_json(index.config),
+            "stats": _stats_to_json(index.stats),
+        },
+    )
+
+
+def load_segment_index(
+    root: Union[str, Path],
+    memtable_limit: int = DEFAULT_MEMTABLE_LIMIT,
+    compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+) -> TreePiIndex:
+    """Open a v3 segment directory lazily.
+
+    O(manifest + segment headers): graphs decode on demand and the
+    posting/center columns stay unmapped-in until a query touches them
+    (``SegmentStore.columns_touched()`` stays 0 across this call — the
+    cold-open benchmark gate pins that).  The returned index is fully
+    maintainable: ``insert``/``delete`` buffer into memtables, flush to
+    delta segments, and compact — never a full rebuild.
+    """
+    store = SegmentStore.open(
+        root,
+        memtable_limit=memtable_limit,
+        compact_threshold=compact_threshold,
+    )
+    ok = False
+    try:
+        manifest = store.manifest
+        config = config_from_json(manifest["config"])
+        stats = _stats_from_json(manifest["stats"])
+        db = SegmentGraphDatabase(
+            store.segments,
+            store.tombstones,
+            manifest.get("next_graph_id", 0),
+            manifest["graphs"],
+        )
+        features: List[FeatureTree] = []
+        by_key: Dict[str, FeatureTree] = {}
+        for layer, segment in enumerate(store.segments):
+            labels = segment.labels()
+            for entry in segment.feature_entries():
+                feature = by_key.get(entry.key)
+                if feature is None:
+                    feature = FeatureTree(
+                        feature_id=entry.feature_id,
+                        tree=entry.decode_tree(labels),
+                        key=entry.key,
+                        center=entry.center,
+                        store=LsmStore(entry.arity, store.tombstones),
+                    )
+                    by_key[entry.key] = feature
+                    features.append(feature)
+                if entry.graph_count:
+                    feature.store.flush_to_layer(layer, entry.open_store())
+        features.sort(key=lambda f: f.feature_id)
+        index = TreePiIndex(db, config, features, stats)
+        index.attach_segment_store(store)
+        ok = True
+        return index
+    finally:
+        # Ownership transfers to the returned index; on any earlier
+        # failure the maps must not leak with the exception.
+        if not ok:
+            store.close()

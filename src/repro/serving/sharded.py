@@ -140,6 +140,67 @@ class ShardedEngine:
         fault_policy: Optional[FaultPolicy] = None,
         gather_grace_ms: float = 250.0,
     ) -> None:
+        self._init_tier(
+            config,
+            num_shards,
+            cache_size=cache_size,
+            verify_workers=verify_workers,
+            max_in_flight=max_in_flight,
+            admission=admission,
+            rebalance_ratio=rebalance_ratio,
+            rebalance_mode=rebalance_mode,
+            router_seed=router_seed,
+            fault_policy=fault_policy,
+            gather_grace_ms=gather_grace_ms,
+        )
+        ids = database.graph_ids()
+        self._next_id = (max(ids) + 1) if ids else 0
+        shard_dbs: Dict[int, GraphDatabase] = {
+            sid: GraphDatabase() for sid in range(num_shards)
+        }
+        for gid in ids:
+            sid = self._router.assign(gid)
+            shard_dbs[sid].add(database[gid], graph_id=gid)
+        # Pre-build balance: hash placement can leave a small corpus
+        # skewed or a shard empty; rebalancing the routing table before
+        # any index exists moves bookkeeping, not built features.
+        plan = self._router.rebalance_plan()
+        for move in plan:
+            graph = shard_dbs[move.src].remove(move.graph_id)
+            shard_dbs[move.dst].add(graph, graph_id=move.graph_id)
+        self._router.apply(plan)
+        for sid in range(num_shards):
+            if len(shard_dbs[sid]) == 0:
+                self._engines[sid] = None
+            else:
+                self._engines[sid] = QueryEngine(
+                    TreePiIndex.build(shard_dbs[sid], config),
+                    cache_size=cache_size,
+                    verify_workers=verify_workers,
+                )
+
+    def _init_tier(
+        self,
+        config: TreePiConfig,
+        num_shards: int,
+        *,
+        cache_size: int = 128,
+        verify_workers: int = 1,
+        max_in_flight: Optional[int] = None,
+        admission: str = "degrade",
+        rebalance_ratio: Optional[float] = None,
+        rebalance_mode: str = "inline",
+        router_seed: Optional[int] = None,
+        fault_policy: Optional[FaultPolicy] = None,
+        gather_grace_ms: float = 250.0,
+    ) -> None:
+        """Validate knobs and set up all tier state except shard engines.
+
+        Shared by the building constructor and :meth:`open_segments`
+        (which attaches engines loaded from v3 segment directories
+        instead of building them); the routing table starts empty either
+        way and is populated by the caller.
+        """
         if admission not in ("reject", "degrade"):
             raise ConfigError(
                 f'admission must be "reject" or "degrade", got {admission!r}'
@@ -179,37 +240,17 @@ class ShardedEngine:
         self._rw = ReadWriteLock("ShardedEngine._rw")
         self._mutex = TrackedLock("ShardedEngine._mutex")
         seed = router_seed if router_seed is not None else config.seed
-        self._router = ShardRouter(num_shards, seed=seed)
-        self._counters = TierCounters()
-        self._in_flight = 0
-        self._rebalance_pending = False
-        self._rebalance_thread: Optional[threading.Thread] = None
-        ids = database.graph_ids()
-        self._next_id = (max(ids) + 1) if ids else 0
-        shard_dbs: Dict[int, GraphDatabase] = {
-            sid: GraphDatabase() for sid in range(num_shards)
-        }
-        for gid in ids:
-            sid = self._router.assign(gid)
-            shard_dbs[sid].add(database[gid], graph_id=gid)
-        # Pre-build balance: hash placement can leave a small corpus
-        # skewed or a shard empty; rebalancing the routing table before
-        # any index exists moves bookkeeping, not built features.
-        plan = self._router.rebalance_plan()
-        for move in plan:
-            graph = shard_dbs[move.src].remove(move.graph_id)
-            shard_dbs[move.dst].add(graph, graph_id=move.graph_id)
-        self._router.apply(plan)
-        self._engines: Dict[int, Optional[QueryEngine]] = {}
-        for sid in range(num_shards):
-            if len(shard_dbs[sid]) == 0:
-                self._engines[sid] = None
-            else:
-                self._engines[sid] = QueryEngine(
-                    TreePiIndex.build(shard_dbs[sid], config),
-                    cache_size=cache_size,
-                    verify_workers=verify_workers,
-                )
+        # The object is not published yet, but this helper also runs
+        # from ``open_segments`` (not ``__init__``), so the guarded
+        # fields are initialized under their declared mutex.
+        with self._mutex:
+            self._router = ShardRouter(num_shards, seed=seed)
+            self._counters = TierCounters()
+            self._in_flight = 0
+            self._rebalance_pending = False
+            self._rebalance_thread: Optional[threading.Thread] = None
+            self._next_id = 0
+            self._engines: Dict[int, Optional[QueryEngine]] = {}
 
     # ------------------------------------------------------------------
     # accessors
@@ -369,6 +410,131 @@ class ShardedEngine:
             thread = self._rebalance_thread
         if thread is not None:
             thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # segment persistence (format v3)
+    # ------------------------------------------------------------------
+    def save_segments(self, root: "Path | str") -> None:
+        """Persist the whole tier as per-shard v3 segment directories.
+
+        Writes ``shard-NNN/`` (one segment directory per built shard)
+        plus a ``shards.json`` tier manifest recording the shard count,
+        router seed, id allocator and config.  Runs under the tier
+        *write* lock so no insert/delete/rebalance can interleave with
+        the per-shard snapshots — the saved shards are one consistent
+        cut of the tier.
+        """
+        import json
+        from pathlib import Path
+
+        from repro.persistence import config_to_json, save_index
+
+        root = Path(root)
+        root.mkdir(parents=True, exist_ok=True)
+        with self._rw.write_locked():
+            with self._mutex:
+                engines = dict(self._engines)
+                router_seed = self._router.seed
+                next_id = self._next_id
+            shards: Dict[str, Optional[str]] = {}
+            for sid in range(self._num_shards):
+                engine = engines.get(sid)
+                if engine is None:
+                    shards[str(sid)] = None
+                    continue
+                name = f"shard-{sid:03d}"
+                save_index(engine.index, root / name, version=3)
+                shards[str(sid)] = name
+            doc = {
+                "format": "treepi-shards",
+                "version": 1,
+                "num_shards": self._num_shards,
+                "router_seed": router_seed,
+                "next_id": next_id,
+                "config": config_to_json(self._config),
+                "shards": shards,
+            }
+        tmp = root / "shards.json.tmp"
+        tmp.write_text(json.dumps(doc, indent=1, sort_keys=True))
+        import os
+
+        os.replace(tmp, root / "shards.json")
+
+    @classmethod
+    def open_segments(
+        cls,
+        root: "Path | str",
+        *,
+        cache_size: int = 128,
+        verify_workers: int = 1,
+        max_in_flight: Optional[int] = None,
+        admission: str = "degrade",
+        rebalance_ratio: Optional[float] = None,
+        rebalance_mode: str = "inline",
+        fault_policy: Optional[FaultPolicy] = None,
+        gather_grace_ms: float = 250.0,
+    ) -> "ShardedEngine":
+        """Reopen a tier saved by :meth:`save_segments` without rebuilding.
+
+        Each shard's index memory-maps its segment directory (cold open
+        is O(manifest) per shard); the routing table is reconstructed by
+        replaying every shard's graph ids as *pinned* assignments, so
+        post-rebalance placements survive the round trip exactly.
+        """
+        import json
+        from pathlib import Path
+
+        from repro.exceptions import SerializationError
+        from repro.persistence import config_from_json, load_index
+
+        root = Path(root)
+        manifest = root / "shards.json"
+        try:
+            doc = json.loads(manifest.read_text())
+        except FileNotFoundError:
+            raise SerializationError(f"no tier manifest at {manifest}")
+        except json.JSONDecodeError as exc:
+            raise SerializationError(f"corrupt tier manifest {manifest}: {exc}")
+        if doc.get("format") != "treepi-shards" or doc.get("version") != 1:
+            raise SerializationError(
+                f"{manifest} is not a v1 treepi-shards manifest "
+                f"(format={doc.get('format')!r}, version={doc.get('version')!r})"
+            )
+        self = cls.__new__(cls)
+        self._init_tier(
+            config_from_json(doc["config"]),
+            int(doc["num_shards"]),
+            cache_size=cache_size,
+            verify_workers=verify_workers,
+            max_in_flight=max_in_flight,
+            admission=admission,
+            rebalance_ratio=rebalance_ratio,
+            rebalance_mode=rebalance_mode,
+            router_seed=int(doc["router_seed"]),
+            fault_policy=fault_policy,
+            gather_grace_ms=gather_grace_ms,
+        )
+        engines: Dict[int, Optional[QueryEngine]] = {}
+        placements: List[Tuple[int, List[int]]] = []
+        for sid in range(int(doc["num_shards"])):
+            name = doc["shards"].get(str(sid))
+            if name is None:
+                engines[sid] = None
+                continue
+            index = load_index(root / name)
+            engines[sid] = QueryEngine(
+                index,
+                cache_size=cache_size,
+                verify_workers=verify_workers,
+            )
+            placements.append((sid, index.database.graph_ids()))
+        with self._mutex:
+            self._next_id = int(doc["next_id"])
+            self._engines.update(engines)
+            for sid, gids in placements:
+                for gid in gids:
+                    self._router.assign(gid, shard=sid)
+        return self
 
     # ------------------------------------------------------------------
     # admission control

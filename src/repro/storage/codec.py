@@ -1,0 +1,82 @@
+"""Typed-label and interned-graph record codecs shared by v2 and v3.
+
+The persistence layer (``repro.persistence``) and the segment storage
+layer (``repro.storage.segments``) both serialize the same two record
+shapes:
+
+* **typed labels** — ``{"i":..}`` / ``{"f":..}`` / ``{"s":..}`` /
+  ``{"t":[..]}`` / ``{"n":true}`` wrappers that round-trip integers,
+  floats, strings, tuples and ``None`` losslessly (plain JSON would
+  silently turn tuples into lists),
+* **interned graph records** — ``{"v": [label_id..],
+  "e": [[u, v, label_id]..]}`` columns referencing one shared
+  :class:`~repro.storage.interner.LabelInterner` table.
+
+They live here, below both layers, so the segment writer can encode
+flush/compaction payloads without importing ``repro.persistence``
+(which sits above ``repro.core`` and would form a cycle).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Sequence
+
+from repro.exceptions import SerializationError
+from repro.graphs.graph import LabeledGraph
+from repro.storage.interner import LabelInterner
+
+
+def encode_label(label: Any) -> Any:
+    if isinstance(label, bool):
+        raise SerializationError("boolean labels are not supported")
+    if isinstance(label, int):
+        return {"i": label}
+    if isinstance(label, float):
+        return {"f": label}
+    if isinstance(label, str):
+        return {"s": label}
+    if isinstance(label, (tuple, list)):
+        return {"t": [encode_label(item) for item in label]}
+    if label is None:
+        return {"n": True}
+    raise SerializationError(f"unsupported label type {type(label).__name__}")
+
+
+def decode_label(data: Any) -> Any:
+    if not isinstance(data, dict) or len(data) != 1:
+        raise SerializationError(f"malformed label record {data!r}")
+    ((kind, value),) = data.items()
+    if kind == "i":
+        return int(value)
+    if kind == "f":
+        return float(value)
+    if kind == "s":
+        return str(value)
+    if kind == "t":
+        return tuple(decode_label(item) for item in value)
+    if kind == "n":
+        return None
+    raise SerializationError(f"unknown label kind {kind!r}")
+
+
+def graph_to_columns(graph: LabeledGraph, interner: LabelInterner) -> Dict[str, Any]:
+    return {
+        "v": [interner.intern(label) for label in graph.vertex_labels()],
+        "e": [
+            [u, v, interner.intern(label)] for u, v, label in graph.edges()
+        ],
+    }
+
+
+def graph_from_columns(
+    data: Dict[str, Any], labels: Sequence[Any], graph_id: Optional[int] = None
+) -> LabeledGraph:
+    try:
+        graph = LabeledGraph(
+            [labels[lid] for lid in data["v"]], graph_id=graph_id
+        )
+        for u, v, lid in data["e"]:
+            graph.add_edge(u, v, labels[lid])
+    except (KeyError, TypeError, ValueError, IndexError) as exc:
+        raise SerializationError(f"malformed v2 graph record: {exc}") from exc
+    return graph

@@ -23,11 +23,31 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
 
-from repro.storage.posting import PostingList, id_array
+from repro.storage.posting import IdColumn, PostingList, id_array
 
 Center = Tuple[int, ...]
+
+
+def _concat(parts: Sequence[IdColumn]) -> array:
+    """Concatenate id columns into one array, widening if any part needs it.
+
+    ``array + array`` requires matching typecodes; a store whose flat
+    column widened to ``'Q'`` (graph ids past 2^32) must keep splicing
+    against fresh ``'I'`` blocks, so concatenation goes through
+    ``extend`` at the widest itemsize among the parts.
+    """
+    widest = max(parts, key=lambda p: p.itemsize)
+    out = array(widest.typecode)
+    for part in parts:
+        if isinstance(part, array) and part.typecode == out.typecode:
+            out.extend(part)
+        else:
+            # array.extend refuses a mismatched-typecode array; feeding
+            # it element-wise takes the generic path and re-widens.
+            out.extend(iter(part))
+    return out
 
 #: Decoded-center memo size; cleared (not evicted piecewise) when full so
 #: concurrent read-side lookups never race an eviction structure.
@@ -38,6 +58,10 @@ class OccurrenceStore:
     """Columnar map ``graph id -> sorted center locations`` of one feature."""
 
     __slots__ = ("_arity", "_gids", "_offsets", "_flat", "_decoded")
+
+    _gids: IdColumn
+    _offsets: IdColumn
+    _flat: IdColumn
 
     def __init__(self, arity: int) -> None:
         if arity < 1:
@@ -56,8 +80,8 @@ class OccurrenceStore:
         cls, arity: int, locations: Mapping[int, Iterable[Center]]
     ) -> "OccurrenceStore":
         store = cls(arity)
-        gids = id_array()
-        offsets = id_array([0])
+        gids: List[int] = []
+        offsets: List[int] = [0]
         flat: List[int] = []
         for gid in sorted(locations):
             centers = sorted(set(locations[gid]))
@@ -66,8 +90,10 @@ class OccurrenceStore:
             gids.append(gid)
             cls._encode_block(arity, centers, flat)
             offsets.append(len(flat))
-        store._gids = gids
-        store._offsets = offsets
+        # id_array picks 'I' or 'Q' from the max value, so gids past
+        # 2^32 widen the column instead of overflowing an append.
+        store._gids = id_array(gids)
+        store._offsets = id_array(offsets)
         store._flat = id_array(flat)
         return store
 
@@ -101,6 +127,31 @@ class OccurrenceStore:
                     f"center block {i - 1} has width {width}, "
                     f"not a positive multiple of arity {arity}"
                 )
+        return store
+
+    @classmethod
+    def from_buffer(
+        cls,
+        arity: int,
+        gids: IdColumn,
+        offsets: IdColumn,
+        centers: IdColumn,
+    ) -> "OccurrenceStore":
+        """Adopt buffer-backed columns zero-copy (trusted segment data).
+
+        Unlike :meth:`from_columns` this performs no validation: the
+        columns come from a segment file this library wrote, and
+        checking them would fault in every page of a lazily mapped
+        file — the v3 cold-open contract is O(metadata), with pages
+        touched only as reads demand them.  All read paths work
+        identically over either backing; a mutation
+        (:meth:`add_graph`/:meth:`remove_graph`) splices the touched
+        region back into heap arrays.
+        """
+        store = cls(arity)
+        store._gids = gids
+        store._offsets = offsets
+        store._flat = centers
         return store
 
     # ------------------------------------------------------------------
@@ -250,16 +301,17 @@ class OccurrenceStore:
         start = self._offsets[i]
         end = self._offsets[i + 1] if existed else start
         delta = len(block) - (end - start)
-        new_flat = self._flat[:start] + id_array(block) + self._flat[end:]
+        new_flat = _concat([self._flat[:start], id_array(block), self._flat[end:]])
         offsets = list(self._offsets)
+        new_gids: IdColumn
         if existed and block:          # replace block i in place
             new_gids = self._gids
             new_offsets = offsets[: i + 1] + [o + delta for o in offsets[i + 1 :]]
         elif existed:                  # drop graph i entirely
-            new_gids = self._gids[:i] + self._gids[i + 1 :]
+            new_gids = _concat([self._gids[:i], self._gids[i + 1 :]])
             new_offsets = offsets[: i + 1] + [o + delta for o in offsets[i + 2 :]]
         else:                          # insert a new graph at position i
-            new_gids = self._gids[:i] + id_array([gid]) + self._gids[i:]
+            new_gids = _concat([self._gids[:i], id_array([gid]), self._gids[i:]])
             new_offsets = (
                 offsets[: i + 1]
                 + [start + len(block)]

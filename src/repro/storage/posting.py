@@ -21,9 +21,17 @@ from __future__ import annotations
 
 from array import array
 from bisect import bisect_left
-from typing import Iterable, Iterator, Optional, Sequence, Set
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Sequence, Set, Union
 
 from repro.analysis.flow import hot_path
+
+if TYPE_CHECKING:
+    from repro.storage.segments import MmapColumn
+
+#: The id-column backing: a heap ``array`` or a zero-copy mmap view.
+#: Both expose ``itemsize``/``typecode``, integer and slice indexing
+#: (slices yield real ``array`` objects), iteration and ``len``.
+IdColumn = Union[array, "MmapColumn"]
 
 #: Length ratio beyond which two-way intersection gallops instead of
 #: hash-intersecting (measured crossover on CPython: gallop wins past
@@ -48,6 +56,8 @@ class PostingList:
 
     __slots__ = ("_ids",)
 
+    _ids: IdColumn
+
     def __init__(self, ids: Iterable[int] = ()) -> None:
         unique = sorted(set(ids))
         if unique and unique[0] < 0:
@@ -58,8 +68,24 @@ class PostingList:
     # constructors
     # ------------------------------------------------------------------
     @classmethod
-    def _wrap(cls, ids: array) -> "PostingList":
+    def _wrap(cls, ids: IdColumn) -> "PostingList":
         """Adopt an already sorted+deduplicated array without copying."""
+        out = cls.__new__(cls)
+        out._ids = ids
+        return out
+
+    @classmethod
+    def from_buffer(cls, ids: IdColumn) -> "PostingList":
+        """Adopt a buffer-backed id column zero-copy.
+
+        The column (typically a :class:`~repro.storage.segments.
+        MmapColumn` over a mapped segment file) is trusted to be sorted
+        strictly increasing — segment writers only ever emit columns in
+        that form, and validating here would fault in every page of a
+        lazily mapped file, defeating the O(metadata) cold open.  All
+        read paths (``intersect``/``intersect_many``, iteration, binary
+        search) behave identically over either backing.
+        """
         out = cls.__new__(cls)
         out._ids = ids
         return out

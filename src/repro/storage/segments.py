@@ -1,0 +1,1162 @@
+"""Memory-mapped segment storage — on-disk format v3 (LSM maintenance).
+
+A v3 index is a *directory*: one small JSON manifest plus one or more
+immutable binary **segment files**.  Each segment holds an interned
+label table, the graph records, and every feature's ``gids`` /
+``offsets`` / ``centers`` columns at 8-byte-aligned payload offsets, so
+a reader can map the file once and hand out zero-copy
+:class:`MmapColumn` views in place of heap ``array`` columns
+(:class:`~repro.storage.posting.PostingList` and
+:class:`~repro.storage.occurrences.OccurrenceStore` adopt them through
+their ``from_buffer`` constructors).  Opening is O(metadata): the
+header is parsed eagerly, column pages fault in only when a read
+touches them (``Segment.columns_touched`` counts first touches, which
+is what the cold-open benchmark gate asserts on).
+
+Maintenance is LSM-style.  ``insert`` buffers new graphs in the
+database overlay and new occurrences in per-feature memtables;
+``delete`` records a **tombstone epoch** (the segment count at delete
+time — data in earlier segments is dead, data flushed later is live,
+so delete-then-reinsert of the same id just works).  A flush writes
+one immutable *delta segment* and swaps the memtables for mapped
+layers; readers always see ``base ∪ deltas − tombstones ∪ memtable``
+through :class:`LsmStore`.  Compaction folds everything back into a
+single base segment: the merge is prepared into a temp file outside
+the writer lock (the engine reuses its generation-checked optimistic
+pattern) and committed with an ``os.replace`` plus column swap.
+
+File layout::
+
+    magic  "TPISEG3\\n"                      8 bytes
+    u64    header length (little-endian)     8 bytes
+    bytes  header JSON (space-padded so the payload starts 8-aligned)
+    bytes  payload: columns + graph blob, each 8-byte aligned
+
+Header column descriptors are ``{"o": payload-relative byte offset,
+"n": element count, "t": array typecode}``; graphs are stored as a
+sorted gid column, a ``'Q'`` byte-offset column, and a concatenated
+blob of interned JSON records decoded one graph at a time.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import struct
+import sys
+from array import array
+from bisect import bisect_left
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import GraphError, SerializationError
+from repro.graphs.graph import GraphDatabase, LabeledGraph
+from repro.storage.codec import decode_label, encode_label, graph_from_columns, graph_to_columns
+from repro.storage.interner import LabelInterner
+from repro.storage.occurrences import Center, OccurrenceStore
+from repro.storage.posting import IdColumn, PostingList, id_array
+
+if TYPE_CHECKING:
+    from repro.core.feature import FeatureTree
+
+MAGIC = b"TPISEG3\n"
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = "treepi-index"
+MANIFEST_VERSION = 3
+
+#: Buffered inserts+deletes that trigger a memtable flush to a delta segment.
+DEFAULT_MEMTABLE_LIMIT = 64
+#: Delta-segment count that makes ``needs_compaction()`` trip.
+DEFAULT_COMPACT_THRESHOLD = 4
+
+_ALIGN = 8
+_GRAPH_CACHE_LIMIT = 256
+_CENTER_CACHE_LIMIT = 64
+
+#: One feature's flush/compaction payload:
+#: ``(feature_id, key, center, tree, (gids, offsets, centers))``.
+FeaturePayload = Tuple[
+    int, str, Tuple[int, ...], LabeledGraph,
+    Tuple[Sequence[int], Sequence[int], Sequence[int]],
+]
+
+
+class MmapColumn:
+    """A read-only unsigned-int column viewing one mapped segment region.
+
+    Drop-in for the heap ``array('I'/'Q')`` columns inside
+    :class:`~repro.storage.posting.PostingList` and
+    :class:`~repro.storage.occurrences.OccurrenceStore`: integer
+    indexing, ``len``, iteration, ``itemsize``/``typecode``, and slicing
+    (slices copy into a real ``array`` so splice/concat paths behave
+    identically).  The ``memoryview.cast`` over the mapped region is
+    deferred to the first element access — constructing columns at
+    segment-open time therefore touches no pages, which keeps cold
+    opens O(metadata).
+    """
+
+    __slots__ = ("_segment", "_offset", "_count", "typecode", "itemsize", "_view")
+
+    def __init__(
+        self, segment: "Segment", offset: int, count: int, typecode: str
+    ) -> None:
+        self._segment = segment
+        self._offset = offset
+        self._count = count
+        self.typecode = typecode
+        self.itemsize = array(typecode).itemsize
+        self._view: Optional[memoryview] = None
+
+    def _cast(self) -> memoryview:
+        view = self._view
+        if view is None:
+            view = self._segment._column_view(
+                self._offset, self._count * self.itemsize, self.typecode
+            )
+            self._view = view
+        return view
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __getitem__(self, index: Union[int, slice]) -> Any:
+        if isinstance(index, slice):
+            return array(self.typecode, self._cast()[index])
+        return self._cast()[index]
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._cast())
+
+    def __repr__(self) -> str:
+        return (
+            f"MmapColumn({self._segment.path.name}, t={self.typecode!r}, "
+            f"n={self._count})"
+        )
+
+    def release(self) -> None:
+        """Drop the buffer export so the owning mmap can close."""
+        view = self._view
+        if view is not None:
+            view.release()
+            self._view = None
+
+
+@dataclass
+class SegmentFeature:
+    """One feature's on-segment metadata plus its (lazy) columns."""
+
+    feature_id: int
+    key: str
+    center: Tuple[int, ...]
+    tree_record: Dict[str, Any]
+    gids: MmapColumn
+    offsets: MmapColumn
+    centers: MmapColumn
+
+    @property
+    def arity(self) -> int:
+        return len(self.center)
+
+    @property
+    def graph_count(self) -> int:
+        """Support size, straight from header metadata (no page faults)."""
+        return len(self.gids)
+
+    def decode_tree(self, labels: Sequence[Any]) -> LabeledGraph:
+        return graph_from_columns(self.tree_record, labels)
+
+    def open_store(self) -> OccurrenceStore:
+        """The columns as a zero-copy, lazily faulting occurrence store."""
+        return OccurrenceStore.from_buffer(
+            self.arity, self.gids, self.offsets, self.centers
+        )
+
+
+class Segment:
+    """One immutable, memory-mapped v3 segment file.
+
+    The header (labels, graph/feature descriptors, tree records) is
+    parsed eagerly; columns and graph records are decoded on demand.
+    The file descriptor is closed immediately after mapping — POSIX
+    keeps the mapping alive — so an open segment pins one mmap, not one
+    fd.  ``columns_touched`` counts columns whose pages were actually
+    cast (first element access), the observable the cold-open gate
+    asserts to be zero right after :func:`repro.persistence.load_index`.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.columns_touched = 0
+        self._closed = False
+        self._columns: List[MmapColumn] = []
+        self._labels: Optional[List[Any]] = None
+        with open(self.path, "rb") as handle:
+            try:
+                mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:
+                raise SerializationError(
+                    f"cannot map segment file {self.path}: {exc}"
+                ) from exc
+        # The map must not leak if header validation throws: release it
+        # on every non-success path, lexically in the finally.
+        ok = False
+        try:
+            header = self._parse_header(mapped)
+            ok = True
+        finally:
+            if not ok:
+                mapped.close()
+        self._mm = mapped
+        self._header = header
+        self._payload_start = len(MAGIC) + 8 + header["_header_len"]
+        gdesc = header["graphs"]
+        self._graph_gids = self._column(gdesc["gids"])
+        self._graph_blob_index = self._column(gdesc["blob_index"])
+        self._blob_offset = self._payload_start + gdesc["blob"]["o"]
+        self._features = [
+            SegmentFeature(
+                feature_id=entry["id"],
+                key=entry["key"],
+                center=tuple(entry["center"]),
+                tree_record=entry["tree"],
+                gids=self._column(entry["gids"]),
+                offsets=self._column(entry["offsets"]),
+                centers=self._column(entry["centers"]),
+            )
+            for entry in header["features"]
+        ]
+
+    def _parse_header(self, mapped: mmap.mmap) -> Dict[str, Any]:
+        if len(mapped) < len(MAGIC) + 8 or mapped[: len(MAGIC)] != MAGIC:
+            raise SerializationError(f"{self.path} is not a v3 segment file")
+        (header_len,) = struct.unpack_from("<Q", mapped, len(MAGIC))
+        start = len(MAGIC) + 8
+        if start + header_len > len(mapped):
+            raise SerializationError(
+                f"truncated segment header in {self.path}"
+            )
+        try:
+            header = json.loads(mapped[start : start + header_len].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SerializationError(
+                f"corrupt segment header in {self.path}: {exc}"
+            ) from exc
+        if header.get("byteorder") != sys.byteorder:
+            raise SerializationError(
+                f"segment {self.path} was written on a "
+                f"{header.get('byteorder')!r}-endian machine; this host is "
+                f"{sys.byteorder!r}-endian"
+            )
+        header["_header_len"] = header_len
+        return header
+
+    def _column(self, desc: Dict[str, Any]) -> MmapColumn:
+        column = MmapColumn(self, desc["o"], desc["n"], desc["t"])
+        self._columns.append(column)
+        return column
+
+    def _column_view(self, offset: int, nbytes: int, typecode: str) -> memoryview:
+        if self._closed:
+            raise SerializationError(
+                f"segment {self.path} is closed (stale reader view)"
+            )
+        start = self._payload_start + offset
+        self.columns_touched += 1
+        return memoryview(self._mm)[start : start + nbytes].cast(typecode)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+    @property
+    def graph_count(self) -> int:
+        """Graph records in this segment (header metadata, no faults)."""
+        return len(self._graph_gids)
+
+    def graph_gids(self) -> MmapColumn:
+        """The sorted gid column (iterating it faults its pages)."""
+        return self._graph_gids
+
+    def labels(self) -> List[Any]:
+        """The segment's interned label table, decoded once (header-only)."""
+        labels = self._labels
+        if labels is None:
+            labels = [decode_label(record) for record in self._header["labels"]]
+            self._labels = labels
+        return labels
+
+    def find_graph(self, gid: int) -> int:
+        """Position of ``gid`` in the gid column, or ``-1``."""
+        gids = self._graph_gids
+        i = bisect_left(gids, gid)
+        if i < len(gids) and gids[i] == gid:
+            return i
+        return -1
+
+    def decode_graph(self, gid: int) -> Optional[LabeledGraph]:
+        """Decode one graph record, or ``None`` when absent."""
+        i = self.find_graph(gid)
+        if i < 0:
+            return None
+        index = self._graph_blob_index
+        start = self._blob_offset + index[i]
+        end = self._blob_offset + index[i + 1]
+        try:
+            record = json.loads(self._mm[start:end].decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise SerializationError(
+                f"corrupt graph record {gid} in {self.path}: {exc}"
+            ) from exc
+        return graph_from_columns(record, self.labels(), graph_id=gid)
+
+    def feature_entries(self) -> List[SegmentFeature]:
+        return list(self._features)
+
+    def nbytes(self) -> int:
+        return len(self._mm)
+
+    def close(self) -> None:
+        """Release every column view and unmap the file (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for column in self._columns:
+            column.release()
+        self._mm.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<Segment {self.path.name} graphs={self.graph_count} "
+            f"features={len(self._features)} bytes={len(self._mm)}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def write_segment(
+    path: Union[str, Path],
+    graphs: Sequence[LabeledGraph],
+    features: Sequence[FeaturePayload],
+) -> None:
+    """Write one immutable segment file.
+
+    ``graphs`` must be sorted by ``graph_id``; feature columns are the
+    raw ``OccurrenceStore.columns()`` triples (delta-encoded centers
+    included).  The label interner is filled in canonical order (graphs
+    first, then feature trees in the given order), so identical inputs
+    produce byte-identical files.
+    """
+    interner = LabelInterner()
+    gid_list: List[int] = []
+    records: List[bytes] = []
+    for graph in graphs:
+        if graph.graph_id is None:
+            raise SerializationError("segment graphs must carry a graph_id")
+        gid_list.append(graph.graph_id)
+        records.append(
+            json.dumps(
+                graph_to_columns(graph, interner), separators=(",", ":")
+            ).encode("utf-8")
+        )
+    tree_records = [
+        graph_to_columns(tree, interner) for _, _, _, tree, _ in features
+    ]
+
+    payload = bytearray()
+
+    def put_column(values: Union[Sequence[int], array]) -> Dict[str, Any]:
+        column = values if isinstance(values, array) else id_array(values)
+        while len(payload) % _ALIGN:
+            payload.append(0)
+        desc = {"o": len(payload), "n": len(column), "t": column.typecode}
+        payload.extend(column.tobytes())
+        return desc
+
+    blob_index = array("Q", [0])
+    for record in records:
+        blob_index.append(blob_index[-1] + len(record))
+    gdesc: Dict[str, Any] = {
+        "gids": put_column(gid_list),
+        "blob_index": put_column(blob_index),
+    }
+    while len(payload) % _ALIGN:
+        payload.append(0)
+    gdesc["blob"] = {"o": len(payload), "len": int(blob_index[-1])}
+    for record in records:
+        payload.extend(record)
+
+    fdescs: List[Dict[str, Any]] = []
+    for (fid, key, center, _tree, columns), tree_record in zip(
+        features, tree_records
+    ):
+        gids, offsets, centers = columns
+        fdescs.append(
+            {
+                "id": fid,
+                "key": key,
+                "center": list(center),
+                "tree": tree_record,
+                "gids": put_column(gids),
+                "offsets": put_column(offsets),
+                "centers": put_column(centers),
+            }
+        )
+
+    header = {
+        "byteorder": sys.byteorder,
+        "labels": [encode_label(label) for label in interner.labels()],
+        "graphs": gdesc,
+        "features": fdescs,
+    }
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    # Pad the header with spaces (JSON-transparent) so the payload
+    # starts 8-byte aligned — every column offset is payload-relative
+    # and itself aligned, so mapped casts never straddle element
+    # boundaries.
+    pad = (-(len(MAGIC) + 8 + len(header_bytes))) % _ALIGN
+    with open(path, "wb") as handle:
+        handle.write(MAGIC)
+        handle.write(struct.pack("<Q", len(header_bytes) + pad))
+        handle.write(header_bytes)
+        handle.write(b" " * pad)
+        handle.write(bytes(payload))
+
+
+# ----------------------------------------------------------------------
+# manifest
+# ----------------------------------------------------------------------
+def read_manifest(root: Union[str, Path]) -> Dict[str, Any]:
+    root = Path(root)
+    path = root / MANIFEST_NAME
+    try:
+        with open(path) as handle:
+            manifest = json.load(handle)
+    except FileNotFoundError as exc:
+        raise SerializationError(
+            f"{root} is not a v3 segment directory (missing {MANIFEST_NAME})"
+        ) from exc
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise SerializationError(f"{path} is not a {MANIFEST_FORMAT} manifest")
+    if manifest.get("version") != MANIFEST_VERSION:
+        raise SerializationError(
+            f"segment directory {root} declares version "
+            f"{manifest.get('version')!r}; this build reads "
+            f"v{MANIFEST_VERSION} segment directories"
+        )
+    if manifest.get("byteorder", sys.byteorder) != sys.byteorder:
+        raise SerializationError(
+            f"segment directory {root} was written on a "
+            f"{manifest.get('byteorder')!r}-endian machine; this host is "
+            f"{sys.byteorder!r}-endian"
+        )
+    return manifest
+
+
+def write_manifest(root: Union[str, Path], manifest: Dict[str, Any]) -> None:
+    """Atomically (temp + rename) rewrite the manifest."""
+    path = Path(root) / MANIFEST_NAME
+    tmp = path.with_name(MANIFEST_NAME + ".tmp")
+    with open(tmp, "w") as handle:
+        json.dump(manifest, handle, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def initialize_directory(
+    root: Union[str, Path],
+    graphs: Sequence[LabeledGraph],
+    features: Sequence[FeaturePayload],
+    next_graph_id: int,
+    extra: Optional[Dict[str, Any]] = None,
+) -> None:
+    """Create (or overwrite) a v3 directory with one base segment.
+
+    Stale segment files from a previous save are removed first; the
+    manifest is written last, atomically, so a crash mid-save never
+    yields a directory whose manifest references missing data.
+    """
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    for stale in sorted(root.glob("*.seg")) + sorted(root.glob("*.tmp")):
+        stale.unlink()
+    name = "seg-000000.seg"
+    write_segment(root / name, graphs, features)
+    manifest: Dict[str, Any] = {
+        "format": MANIFEST_FORMAT,
+        "version": MANIFEST_VERSION,
+        "byteorder": sys.byteorder,
+        "segments": [name],
+        "next_segment": 1,
+        "graphs": len(graphs),
+        "next_graph_id": next_graph_id,
+        "tombstones": {},
+    }
+    if extra:
+        manifest.update(extra)
+    write_manifest(root, manifest)
+
+
+# ----------------------------------------------------------------------
+# merged read views
+# ----------------------------------------------------------------------
+class LsmStore:
+    """One feature's merged occurrence view: layers − tombstones ∪ memtable.
+
+    Layers are immutable :class:`OccurrenceStore` snapshots (usually
+    mmap-backed) tagged with the **epoch** — the global segment index
+    they were flushed at.  A graph id's data in layer ``j`` is live iff
+    ``j >= tombstones.get(gid, 0)``: deleting records the then-current
+    segment count as the gid's epoch, killing everything older while
+    leaving later re-inserts visible.  The memtable holds unflushed
+    occurrences and is always live (deletes pop it immediately).
+
+    Duck-types the :class:`OccurrenceStore` read/maintenance surface
+    that :class:`~repro.core.feature.FeatureTree` uses, so the rest of
+    the pipeline cannot tell the backings apart.
+    """
+
+    __slots__ = ("_arity", "_tomb", "_layers", "_mem", "_gids", "_decoded")
+
+    def __init__(
+        self,
+        arity: int,
+        tombstones: Dict[int, int],
+        layers: Iterable[Tuple[int, OccurrenceStore]] = (),
+    ) -> None:
+        if arity < 1:
+            raise ValueError(f"center arity must be >= 1, got {arity}")
+        self._arity = arity
+        self._tomb = tombstones
+        self._layers: List[Tuple[int, OccurrenceStore]] = list(layers)
+        self._mem: Dict[int, FrozenSet[Center]] = {}
+        self._gids: Optional[PostingList] = None
+        self._decoded: Dict[int, FrozenSet[Center]] = {}
+
+    # -- maintenance-side plumbing (called by SegmentStore) ------------
+    @property
+    def pending(self) -> Mapping[int, FrozenSet[Center]]:
+        """The unflushed memtable (gid → centers)."""
+        return self._mem
+
+    @property
+    def has_layers(self) -> bool:
+        return bool(self._layers)
+
+    def invalidate(self) -> None:
+        self._gids = None
+        self._decoded = {}
+
+    def flush_to_layer(self, epoch: int, store: OccurrenceStore) -> None:
+        """Swap the memtable for its freshly written immutable layer."""
+        self._layers.append((epoch, store))
+        self._mem = {}
+        self.invalidate()
+
+    def reset_layers(
+        self, layers: Iterable[Tuple[int, OccurrenceStore]]
+    ) -> None:
+        """Replace every layer *and* the memtable (compaction commit)."""
+        self._layers = list(layers)
+        self._mem = {}
+        self.invalidate()
+
+    # -- OccurrenceStore read surface ----------------------------------
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    def __len__(self) -> int:
+        return len(self.graph_ids())
+
+    def __contains__(self, gid: object) -> bool:
+        if not isinstance(gid, int) or gid < 0:
+            return False
+        return gid in self.graph_ids()
+
+    def graph_ids(self) -> PostingList:
+        """The merged live support set (cached until invalidated)."""
+        cached = self._gids
+        if cached is not None:
+            return cached
+        if not self._layers and not self._mem:
+            result = PostingList()
+        elif len(self._layers) == 1 and not self._mem and not self._tomb:
+            # Single layer, nothing buffered, nothing deleted anywhere:
+            # hand out the layer's own (possibly mmap-backed) column.
+            result = self._layers[0][1].graph_ids()
+        else:
+            live = set(self._mem)
+            for epoch, store in self._layers:
+                for gid in store.graph_ids():
+                    if epoch >= self._tomb.get(gid, 0):
+                        live.add(gid)
+            result = PostingList._wrap(id_array(sorted(live)))
+        self._gids = result
+        return result
+
+    def centers_in(self, gid: int) -> FrozenSet[Center]:
+        cached = self._decoded.get(gid)
+        if cached is not None:
+            return cached
+        merged = set(self._mem.get(gid, ()))
+        epoch = self._tomb.get(gid, 0)
+        for layer, store in self._layers:
+            if layer >= epoch:
+                merged |= store.centers_in(gid)
+        result = frozenset(merged)
+        if result:
+            if len(self._decoded) >= _CENTER_CACHE_LIMIT:
+                self._decoded = {}
+            self._decoded[gid] = result
+        return result
+
+    def items(self) -> Iterator[Tuple[int, FrozenSet[Center]]]:
+        for gid in self.graph_ids():
+            yield gid, self.centers_in(gid)
+
+    def to_mapping(self) -> Dict[int, FrozenSet[Center]]:
+        return dict(self.items())
+
+    def total_centers(self) -> int:
+        return sum(len(centers) for _, centers in self.items())
+
+    def columns(self) -> Tuple[List[int], List[int], List[int]]:
+        """Fully merged raw columns (serialization / compaction input)."""
+        return OccurrenceStore.from_mapping(
+            self._arity, self.to_mapping()
+        ).columns()
+
+    def nbytes(self) -> int:
+        """Mapped layer bytes plus a coarse memtable estimate."""
+        total = sum(store.nbytes() for _, store in self._layers)
+        total += sum(
+            (1 + len(centers) * self._arity) * 8
+            for centers in self._mem.values()
+        )
+        return total
+
+    # -- maintenance hooks (Section 7.1) -------------------------------
+    def add_graph(self, gid: int, centers: Iterable[Center]) -> None:
+        """Buffer occurrences in the memtable (union semantics, like
+        :meth:`OccurrenceStore.add_graph`)."""
+        if gid < 0:
+            raise ValueError(f"graph ids are non-negative, got {gid}")
+        fresh = set(centers)
+        if not fresh:
+            return
+        for center in fresh:
+            if len(center) != self._arity:
+                raise ValueError(
+                    f"center {center!r} has arity {len(center)}, "
+                    f"store expects {self._arity}"
+                )
+        existing = self._mem.get(gid)
+        if existing:
+            fresh |= existing
+        self._mem[gid] = frozenset(fresh)
+        self.invalidate()
+
+    def remove_graph(self, gid: int) -> bool:
+        """Drop ``gid``'s buffered occurrences.
+
+        Layer data is killed by the database-level tombstone (already
+        recorded by the time :meth:`repro.core.treepi.TreePiIndex.delete`
+        fans out to features), so the return value reflects whether any
+        data remained live *before this call's memtable pop*.
+        """
+        present = self._mem.pop(gid, None) is not None
+        if not present:
+            epoch = self._tomb.get(gid, 0)
+            present = any(
+                layer >= epoch and gid in store
+                for layer, store in self._layers
+            )
+        self.invalidate()
+        return present
+
+    def __repr__(self) -> str:
+        return (
+            f"LsmStore(arity={self._arity}, layers={len(self._layers)}, "
+            f"memtable={len(self._mem)})"
+        )
+
+
+class SegmentGraphDatabase(GraphDatabase):
+    """A :class:`GraphDatabase` resolving graphs lazily from segments.
+
+    Unflushed inserts live in ``_overlay``; decoded graphs are memoized
+    (cleared wholesale at a cap, the same race-free discipline the
+    occurrence decode cache uses); ``remove`` of a segment-resident
+    graph records the tombstone epoch — the single place deletions are
+    written.  ``__len__`` is O(1) off the manifest-carried live count,
+    so index construction over a cold directory faults no pages.
+    """
+
+    def __init__(
+        self,
+        segments: List[Segment],
+        tombstones: Dict[int, int],
+        next_id: int,
+        live_count: int,
+    ) -> None:
+        super().__init__()
+        self._segments = segments
+        self._tomb = tombstones
+        self._overlay: Dict[int, LabeledGraph] = {}
+        self._decoded: Dict[int, LabeledGraph] = {}
+        self._live: Optional[List[int]] = None
+        self._live_count = live_count
+        self._next_id = next_id
+
+    # -- plumbing shared with SegmentStore -----------------------------
+    @property
+    def next_id(self) -> int:
+        return self._next_id
+
+    def overlay_graphs(self) -> List[LabeledGraph]:
+        """Unflushed inserts, sorted by graph id (the flush payload)."""
+        return [self._overlay[gid] for gid in sorted(self._overlay)]
+
+    def overlay_count(self) -> int:
+        return len(self._overlay)
+
+    def note_flushed(self) -> None:
+        """Overlay graphs are now segment-resident; keep them decoded."""
+        if len(self._decoded) + len(self._overlay) > _GRAPH_CACHE_LIMIT:
+            self._decoded = {}
+        self._decoded.update(self._overlay)
+        self._overlay = {}
+
+    def note_compacted(self) -> None:
+        """Segments were folded; cached decodes stay valid, views don't."""
+        self.note_flushed()
+        self._live = None
+        self._universe = None
+
+    # -- GraphDatabase surface -----------------------------------------
+    def add(self, graph: LabeledGraph, graph_id: Optional[int] = None) -> int:
+        if graph_id is None:
+            gid = self._next_id
+        else:
+            if graph_id in self:
+                raise GraphError(f"graph id {graph_id} already in use")
+            gid = graph_id
+        self._next_id = max(self._next_id, gid + 1)
+        graph.graph_id = gid
+        self._overlay[gid] = graph
+        self._live_count += 1
+        self._live = None
+        self._universe = None
+        return gid
+
+    def remove(self, graph_id: int) -> LabeledGraph:
+        removed = self._overlay.pop(graph_id, None)
+        if removed is None:
+            removed = self._resolve(graph_id)
+            if removed is None:
+                raise GraphError(f"no graph with id {graph_id}")
+            self._tomb[graph_id] = len(self._segments)
+            self._decoded.pop(graph_id, None)
+        self._live_count -= 1
+        self._live = None
+        self._universe = None
+        return removed
+
+    def _resolve(self, gid: int) -> Optional[LabeledGraph]:
+        graph = self._overlay.get(gid)
+        if graph is not None:
+            return graph
+        graph = self._decoded.get(gid)
+        if graph is not None:
+            return graph
+        epoch = self._tomb.get(gid, 0)
+        for layer in range(len(self._segments) - 1, epoch - 1, -1):
+            graph = self._segments[layer].decode_graph(gid)
+            if graph is not None:
+                if len(self._decoded) >= _GRAPH_CACHE_LIMIT:
+                    self._decoded = {}
+                self._decoded[gid] = graph
+                return graph
+        return None
+
+    def __len__(self) -> int:
+        return self._live_count
+
+    def __contains__(self, graph_id: int) -> bool:
+        return self._resolve(graph_id) is not None
+
+    def __getitem__(self, graph_id: int) -> LabeledGraph:
+        graph = self._resolve(graph_id)
+        if graph is None:
+            raise GraphError(f"no graph with id {graph_id}")
+        return graph
+
+    def __iter__(self) -> Iterator[LabeledGraph]:
+        for gid in self._live_ids():
+            yield self[gid]
+
+    def _live_ids(self) -> List[int]:
+        live_list = self._live
+        if live_list is None:
+            live = set(self._overlay)
+            for layer, segment in enumerate(self._segments):
+                for gid in segment.graph_gids():
+                    if layer >= self._tomb.get(gid, 0):
+                        live.add(gid)
+            live_list = sorted(live)
+            self._live = live_list
+        return live_list
+
+    def graph_ids(self) -> List[int]:
+        return list(self._live_ids())
+
+    def universe_posting(self) -> PostingList:
+        if self._universe is None:
+            self._universe = PostingList._wrap(id_array(self._live_ids()))
+        return self._universe
+
+    def average_edge_count(self) -> float:
+        ids = self._live_ids()
+        if not ids:
+            return 0.0
+        return sum(self[gid].num_edges for gid in ids) / len(ids)
+
+
+# ----------------------------------------------------------------------
+# LSM orchestration
+# ----------------------------------------------------------------------
+@dataclass
+class CompactionPlan:
+    """A fully merged segment staged in a temp file, awaiting commit.
+
+    Side-effect free for readers: the temp file is invisible to the
+    manifest.  :meth:`discard` is the race path — the engine drops the
+    plan when its generation check shows maintenance interleaved with
+    the merge.
+    """
+
+    tmp_path: Path
+    live_graphs: int
+
+    def discard(self) -> None:
+        try:
+            self.tmp_path.unlink()
+        except OSError:
+            pass
+
+
+class SegmentStore:
+    """The on-disk side of one mmap-backed index.
+
+    Owns the segment directory: the open :class:`Segment` list (shared,
+    in the same order, with the :class:`SegmentGraphDatabase` and every
+    :class:`LsmStore` layer epoch), the manifest, the tombstone map, and
+    the flush/compaction state machine.  All mutating entry points are
+    called with the serving engine's write lock held (the index methods
+    delegating here carry ``@guarded_by`` contracts); the exception is
+    :meth:`prepare_compaction`, which is read-only by design so the
+    expensive merge can run under the read lock.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        manifest: Dict[str, Any],
+        segments: List[Segment],
+        memtable_limit: int = DEFAULT_MEMTABLE_LIMIT,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> None:
+        if memtable_limit < 1:
+            raise ValueError(
+                f"memtable_limit must be >= 1, got {memtable_limit}"
+            )
+        if compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {compact_threshold}"
+            )
+        self.root = Path(root)
+        self._manifest = manifest
+        self._segments = segments
+        self.tombstones: Dict[int, int] = {
+            int(gid): epoch
+            for gid, epoch in manifest.get("tombstones", {}).items()
+        }
+        self._memtable_limit = memtable_limit
+        self._compact_threshold = compact_threshold
+        self._dirty_ops = 0
+        self._db: Optional[SegmentGraphDatabase] = None
+        self._features: List["FeatureTree"] = []
+
+    @classmethod
+    def open(
+        cls,
+        root: Union[str, Path],
+        memtable_limit: int = DEFAULT_MEMTABLE_LIMIT,
+        compact_threshold: int = DEFAULT_COMPACT_THRESHOLD,
+    ) -> "SegmentStore":
+        """Open a v3 directory: parse the manifest, map every segment.
+
+        O(manifest + headers): no posting/center column is read.
+        """
+        root = Path(root)
+        manifest = read_manifest(root)
+        segments: List[Segment] = []
+        ok = False
+        try:
+            for name in manifest["segments"]:
+                segments.append(Segment(root / name))
+            ok = True
+        finally:
+            if not ok:
+                for segment in segments:
+                    segment.close()
+        return cls(
+            root,
+            manifest,
+            segments,
+            memtable_limit=memtable_limit,
+            compact_threshold=compact_threshold,
+        )
+
+    def attach(
+        self, db: SegmentGraphDatabase, features: List["FeatureTree"]
+    ) -> None:
+        """Bind the live database/feature objects this store maintains.
+
+        ``features`` must be the index's *own* list (not a copy) so
+        features materialized by later inserts are flushed too.
+        """
+        self._db = db
+        self._features = features
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def manifest(self) -> Dict[str, Any]:
+        return self._manifest
+
+    @property
+    def segments(self) -> List[Segment]:
+        return self._segments
+
+    @property
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    @property
+    def delta_count(self) -> int:
+        return max(0, len(self._segments) - 1)
+
+    @property
+    def memtable_limit(self) -> int:
+        return self._memtable_limit
+
+    @property
+    def compact_threshold(self) -> int:
+        return self._compact_threshold
+
+    def columns_touched(self) -> int:
+        """Total columns faulted across segments (cold-open observable)."""
+        return sum(segment.columns_touched for segment in self._segments)
+
+    def nbytes(self) -> int:
+        return sum(segment.nbytes() for segment in self._segments)
+
+    def describe(self) -> List[Dict[str, Any]]:
+        """Per-segment stats for ``repro index segments`` (faults gid
+        columns — a diagnostics call, not a serving path)."""
+        rows: List[Dict[str, Any]] = []
+        for layer, segment in enumerate(self._segments):
+            total = segment.graph_count
+            live = sum(
+                1
+                for gid in segment.graph_gids()
+                if layer >= self.tombstones.get(gid, 0)
+            )
+            rows.append(
+                {
+                    "segment": segment.path.name,
+                    "graphs": total,
+                    "live": live,
+                    "tombstoned": total - live,
+                    "features": len(segment.feature_entries()),
+                    "bytes": segment.nbytes(),
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # write-path hooks (index calls these; engine holds the write lock)
+    # ------------------------------------------------------------------
+    def adopt_feature(self, feature: "FeatureTree") -> None:
+        """Back a freshly materialized feature with an (empty) LSM store."""
+        feature.store = LsmStore(len(feature.center), self.tombstones)
+
+    def note_insert(self) -> None:
+        self._dirty_ops += 1
+
+    def note_delete(self, graph_id: int) -> None:
+        self._dirty_ops += 1
+
+    def should_flush(self) -> bool:
+        return self._dirty_ops >= self._memtable_limit
+
+    def needs_compaction(self) -> bool:
+        return self.delta_count >= self._compact_threshold
+
+    def flush(self) -> bool:
+        """Persist buffered state: write a delta segment, sync the manifest.
+
+        The delta carries the overlay graphs plus every feature with a
+        non-empty memtable — and every feature with *no* layer yet, even
+        if its memtable is empty, so a feature materialized by an insert
+        whose graph was deleted before the flush still survives reopen
+        (the σ(1)=1 completeness floor must not silently lose keys).
+        Pure-tombstone churn needs no new segment; the manifest rewrite
+        alone persists it.  Returns True when a segment was written.
+        """
+        db = self._db
+        if db is None:
+            raise SerializationError("segment store is not attached yet")
+        overlay = db.overlay_graphs()
+        include = [
+            feature
+            for feature in self._features
+            if isinstance(feature.store, LsmStore)
+            and (feature.store.pending or not feature.store.has_layers)
+        ]
+        wrote = False
+        if overlay or include:
+            epoch = len(self._segments)
+            name = f"seg-{self._manifest['next_segment']:06d}.seg"
+            self._manifest["next_segment"] += 1
+            payloads: List[FeaturePayload] = []
+            for feature in include:
+                mem = OccurrenceStore.from_mapping(
+                    feature.store.arity, dict(feature.store.pending)
+                )
+                payloads.append(
+                    (
+                        feature.feature_id,
+                        feature.key,
+                        tuple(feature.center),
+                        feature.tree,
+                        mem.columns(),
+                    )
+                )
+            write_segment(self.root / name, overlay, payloads)
+            segment = Segment(self.root / name)
+            self._segments.append(segment)
+            self._manifest["segments"].append(name)
+            by_key = {entry.key: entry for entry in segment.feature_entries()}
+            for feature in include:
+                feature.store.flush_to_layer(
+                    epoch, by_key[feature.key].open_store()
+                )
+            db.note_flushed()
+            wrote = True
+        self._sync_manifest()
+        self._dirty_ops = 0
+        return wrote
+
+    def prepare_compaction(self) -> Optional[CompactionPlan]:
+        """Merge everything into a temp segment file (read-lock safe).
+
+        A full checkpoint: live graphs (overlay included) and the fully
+        merged occurrence columns of every feature (memtables included,
+        tombstones folded out).  Touches no visible state — the caller
+        commits under the write lock after its generation check, or
+        discards the plan.  Returns None when there is nothing to fold.
+        """
+        db = self._db
+        if db is None:
+            raise SerializationError("segment store is not attached yet")
+        if len(self._segments) <= 1 and not self.tombstones:
+            return None
+        live = db.graph_ids()
+        graphs = [db[gid] for gid in live]
+        payloads: List[FeaturePayload] = [
+            (
+                feature.feature_id,
+                feature.key,
+                tuple(feature.center),
+                feature.tree,
+                feature.store.columns(),
+            )
+            for feature in self._features
+        ]
+        tmp = self.root / "compact-pending.tmp"
+        write_segment(tmp, graphs, payloads)
+        return CompactionPlan(tmp_path=tmp, live_graphs=len(live))
+
+    def commit_compaction(self, plan: CompactionPlan) -> None:
+        """Swap the merged segment in (write lock held, no readers).
+
+        ``os.replace`` publishes the file, the column swap republishes
+        the stores, tombstones reset (their dead data is physically
+        gone), and only then are the superseded segments closed and
+        unlinked — no in-flight view can reference them because the
+        engine cleared its plan/result caches before releasing the lock.
+        """
+        db = self._db
+        if db is None:
+            raise SerializationError("segment store is not attached yet")
+        name = f"seg-{self._manifest['next_segment']:06d}.seg"
+        self._manifest["next_segment"] += 1
+        final = self.root / name
+        os.replace(plan.tmp_path, final)
+        segment = Segment(final)
+        old_segments = list(self._segments)
+        old_names = list(self._manifest["segments"])
+        self._segments[:] = [segment]
+        self._manifest["segments"] = [name]
+        self.tombstones.clear()
+        by_key = {entry.key: entry for entry in segment.feature_entries()}
+        for feature in self._features:
+            entry = by_key[feature.key]
+            feature.store.reset_layers([(0, entry.open_store())])
+        db.note_compacted()
+        for old in old_segments:
+            old.close()
+        for old_name in old_names:
+            try:
+                (self.root / old_name).unlink()
+            except OSError:
+                pass
+        self._sync_manifest()
+        self._dirty_ops = 0
+
+    def close(self) -> None:
+        """Unmap every segment (the directory stays reopenable)."""
+        for segment in self._segments:
+            segment.close()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _sync_manifest(self) -> None:
+        db = self._db
+        assert db is not None
+        self._manifest["graphs"] = len(db)
+        self._manifest["next_graph_id"] = db.next_id
+        self._manifest["tombstones"] = {
+            str(gid): epoch for gid, epoch in sorted(self.tombstones.items())
+        }
+        write_manifest(self.root, self._manifest)

@@ -113,6 +113,55 @@ def make_pool():
     assert rule_ids(src) == []
 
 
+def test_repro401_mmap_never_released_fires():
+    src = """
+import mmap
+
+def open_segment(handle):
+    mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    header = mapped[:8]
+    return header
+"""
+    assert rule_ids(src) == ["REPRO401"]
+    assert "mmap" in messages(src)[0]
+    assert "never released" in messages(src)[0]
+
+
+def test_repro401_mmap_release_on_fall_through_only_fires():
+    src = """
+import mmap
+
+def read_header(handle):
+    mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    header = parse(mapped[:64])
+    mapped.close()
+    return header
+"""
+    assert rule_ids(src) == ["REPRO401"]
+    assert "fall-through" in messages(src)[0]
+
+
+def test_repro401_mmap_ok_flag_finally_is_clean():
+    """The segment reader's open pattern: release lexically in a finally
+    unless the constructor finished and ownership moved to ``self``."""
+    src = """
+import mmap
+
+class Segment:
+    def __init__(self, handle):
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+        ok = False
+        try:
+            self.header = parse(mapped[:64])
+            ok = True
+        finally:
+            if not ok:
+                mapped.close()
+        self._mm = mapped
+"""
+    assert rule_ids(src) == []
+
+
 def test_repro401_lock_release_outside_finally_fires():
     src = """
 def critical(lock, work):

@@ -99,6 +99,90 @@ class TestBuildQueryInfo:
         assert "sigma:" in out
 
 
+class TestSegmentCommands:
+    @pytest.fixture
+    def segment_dir(self, tmp_path, db_file):
+        root = tmp_path / "idx3"
+        assert main([
+            "build", "--database", str(db_file), "--out", str(root),
+            "--eta", "3", "--mmap",
+        ]) == 0
+        return root
+
+    def test_build_mmap_writes_a_segment_directory(self, segment_dir):
+        assert segment_dir.is_dir()
+        assert (segment_dir / "manifest.json").exists()
+        assert (segment_dir / "seg-000000.seg").exists()
+        index = load_index(segment_dir)
+        try:
+            assert index.segment_backed
+            assert index.feature_count() > 0
+        finally:
+            index.segment_store.close()
+
+    def test_query_serves_from_a_segment_directory(
+        self, tmp_path, db_file, index_file, segment_dir, capsys
+    ):
+        queries = tmp_path / "queries.txt"
+        main([
+            "generate", "--kind", "queries", "--database", str(db_file),
+            "--edges", "3", "--count", "3", "--out", str(queries),
+        ])
+        assert main([
+            "query", "--index", str(segment_dir), "--queries", str(queries),
+        ]) == 0
+        mmap_out = capsys.readouterr().out
+        assert main([
+            "query", "--index", str(index_file), "--queries", str(queries),
+        ]) == 0
+        json_out = capsys.readouterr().out
+        # Identical answers (line-for-line) over either backing.
+        mmap_lines = [l for l in mmap_out.splitlines() if l.startswith("query")]
+        json_lines = [l for l in json_out.splitlines() if l.startswith("query")]
+        assert mmap_lines == json_lines
+
+    def test_index_segments_prints_per_segment_stats(
+        self, segment_dir, capsys
+    ):
+        assert main(["index", "segments", "--index", str(segment_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "seg-000000.seg" in out
+        assert "live" in out
+        assert "memtable_limit=" in out
+        assert "1 segment(s) (0 delta)" in out
+
+    def test_index_compact_is_a_noop_on_a_single_segment(
+        self, segment_dir, capsys
+    ):
+        assert main(["index", "compact", "--index", str(segment_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "nothing to compact" in out
+
+    def test_index_compact_folds_deltas(self, db_file, segment_dir, capsys):
+        index = load_index(segment_dir)
+        try:
+            graph = load_database(db_file)[0]
+            index.insert(graph)
+            gid = sorted(index.database.graph_ids())[0]
+            index.delete(gid)
+            assert index.flush_segments()
+        finally:
+            index.segment_store.close()
+        assert main(["index", "segments", "--index", str(segment_dir)]) == 0
+        assert "1 delta" in capsys.readouterr().out
+        assert main(["index", "compact", "--index", str(segment_dir)]) == 0
+        assert "compacted 2 segment(s) -> 1" in capsys.readouterr().out
+        reopened = load_index(segment_dir)
+        try:
+            assert gid not in set(reopened.database.graph_ids())
+        finally:
+            reopened.segment_store.close()
+
+    def test_index_segments_rejects_a_json_index(self, index_file, capsys):
+        assert main(["index", "segments", "--index", str(index_file)]) == 2
+        assert "not a v3 segment directory" in capsys.readouterr().err
+
+
 class TestParser:
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):

@@ -125,11 +125,30 @@ class TestFormatGuards:
 
     def test_future_version_message_is_actionable(self):
         with pytest.raises(SerializationError) as excinfo:
-            index_from_json({"format": "treepi-index", "version": 3})
+            index_from_json({"format": "treepi-index", "version": 99})
         message = str(excinfo.value)
-        assert "version 3" in message
-        assert "supported: 1, 2" in message
+        assert "version 99" in message
+        assert "supported versions: (1, 2, 3)" in message
         assert "upgrade" in message
+
+    def test_future_version_message_names_the_file(self, tmp_path):
+        """Loaded from disk, the error points at the offending path."""
+        import json
+
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": "treepi-index", "version": 99}))
+        with pytest.raises(SerializationError) as excinfo:
+            load_index(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "supported versions: (1, 2, 3)" in message
+
+    def test_version_3_json_document_redirects_to_directory(self):
+        """A v3 'document' is a category error with a pointed message."""
+        with pytest.raises(SerializationError) as excinfo:
+            index_from_json({"format": "treepi-index", "version": 3})
+        assert "segment directory" in str(excinfo.value)
+        assert "load_index" in str(excinfo.value)
 
     def test_missing_version_rejected(self):
         with pytest.raises(SerializationError):
