@@ -90,6 +90,9 @@ TOKEN_CALLEES = frozenset(
         "verify_candidate",
         "subgraph_monomorphisms",
         "is_subgraph_isomorphic",
+        "count_embeddings",
+        "are_isomorphic",
+        "automorphisms",
         "center_prune",
         "check_center_constraints",
     }

@@ -201,3 +201,25 @@ class CancellationToken:
         if over:
             self.cancel("verify-budget")
         self.poll()
+
+    def flush(self, steps: int) -> None:
+        """Account ``steps`` work units *without* raising.
+
+        Terminal accounting for batching loops: a search that exits (or
+        unwinds) mid-interval still performed its sub-interval remainder,
+        so the enumerator flushes it from a ``finally`` to keep
+        :attr:`work_charged` exact.  Crossing the cap here still expires
+        the token — the *next* checkpoint anywhere on the shared token
+        raises — but the flush itself never does: the work is already
+        done, and raising out of a normal completion would wrongly turn
+        an exactly-resolved answer into a degraded one.
+        """
+        if steps <= 0:
+            return
+        over = False
+        with self._lock:
+            self._charged += steps
+            if self._verify_cap is not None and self._charged > self._verify_cap:
+                over = True
+        if over:
+            self.cancel("verify-budget")

@@ -25,6 +25,7 @@ from repro.exceptions import ConfigError
 from repro.core.partition import Partition, QueryPiece
 from repro.graphs.distances import DistanceOracle
 from repro.graphs.graph import LabeledGraph
+from repro.graphs.matcher_index import pair_subsumed
 from repro.trees.center import Center
 
 
@@ -137,6 +138,7 @@ def check_center_constraints(
     oracle: Optional[DistanceOracle] = None,
     budget: Optional[int] = None,
     token: Optional[CancellationToken] = None,
+    query: Optional[LabeledGraph] = None,
 ) -> PruneDecision:
     """Algorithm 2's per-graph test, with an explicit three-way outcome.
 
@@ -148,9 +150,20 @@ def check_center_constraints(
     exhausted budget — stop checking, keep the graph — so pruning never
     raises and never loses soundness.  A graph missing some feature
     outright is refuted for free, before any budget is spent.
+
+    ``query`` (optional) enables the cached label-pair refutation: a
+    query whose (vertex-label, edge-label, vertex-label) incidence
+    multiset is not contained in the graph's cannot embed, so the graph
+    is *refuted* — an exact proof, budget-free, before any distance
+    check.  The survivor set only shrinks; answer sets are unchanged
+    (filters tighten, answers never change).
     """
     if budget is not None and budget < 0:
         raise ConfigError(f"center-prune budget must be >= 0 or None, got {budget}")
+    if query is not None and not pair_subsumed(
+        query.matcher_index(), graph.matcher_index()
+    ):
+        return PruneDecision(keep=False)
     if oracle is None:
         oracle = DistanceOracle(graph)
     m = len(problem.pieces)
@@ -252,6 +265,7 @@ def center_prune(
     oracles: Optional[Dict[int, DistanceOracle]] = None,
     budget_per_graph: Optional[int] = None,
     token: Optional[CancellationToken] = None,
+    query: Optional[LabeledGraph] = None,
 ) -> PruneReport:
     """Algorithm 2: reduce the filtered set ``P_q`` to ``P'_q``.
 
@@ -261,6 +275,8 @@ def center_prune(
     bounds the whole pass (see :func:`check_center_constraints`) — on
     deadline expiry the remaining candidates are kept unexamined, so a
     budgeted prune always returns a superset of the exact ``P'_q``.
+    ``query`` (optional) adds the budget-free label-pair refutation per
+    candidate (see :func:`check_center_constraints`).
     """
     report = PruneReport()
     for pos, gid in enumerate(candidates):
@@ -277,7 +293,13 @@ def center_prune(
                 oracle = DistanceOracle(graph)
                 oracles[gid] = oracle
         decision = check_center_constraints(
-            problem, graph, gid, oracle, budget=budget_per_graph, token=token
+            problem,
+            graph,
+            gid,
+            oracle,
+            budget=budget_per_graph,
+            token=token,
+            query=query,
         )
         if decision.keep:
             report.survivors.append(gid)

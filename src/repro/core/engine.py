@@ -525,14 +525,21 @@ class QueryEngine:
         results: Sequence[QueryResult],
         token: Optional[CancellationToken],
     ) -> None:
-        """Fold one budgeted call's degradation into the engine counters."""
+        """Fold one budgeted call's work ledger and degradation into the counters.
+
+        ``verify_steps`` accumulates the token's exact work total whether
+        or not the call degraded — the engine-level twin of
+        :attr:`~repro.core.budget.CancellationToken.work_charged`.
+        """
         if token is None:
             return
         expired = token.expired
         degraded = [r for r in results if not r.complete]
-        if not expired and not degraded:
+        steps = token.work_charged
+        if not expired and not degraded and not steps:
             return
         with self._mutex:
+            self._counters.verify_steps += steps
             if expired:
                 self._counters.timeouts += 1
             self._counters.degraded_results += len(degraded)

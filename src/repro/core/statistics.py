@@ -59,6 +59,12 @@ class EngineStats:
     degraded_results: int = 0        # results returned with complete=False
     unresolved_candidates: int = 0   # candidates left unverified on expiry
     prune_exhausted: int = 0         # candidates kept on prune-budget exhaustion
+    #: verification work units charged to budgeted calls' tokens, summed
+    #: (matcher candidate draws + anchored-assignment trials).  Exact:
+    #: enumerators flush sub-interval remainders on exit (the pre-fix
+    #: matcher silently dropped up to CHECK_INTERVAL-1 steps per call).
+    #: Zero on unbudgeted traffic — no token, nothing to account.
+    verify_steps: int = 0
 
     def snapshot(self) -> "EngineStats":
         """An independent copy (safe to keep across further queries)."""

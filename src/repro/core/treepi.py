@@ -135,6 +135,16 @@ class TreePiConfig:
       set to 0 to always reconstruct, as the paper describes),
     * ``max_embeddings_per_graph`` — optional miner memory cap (approximate
       mining; the default ``None`` keeps the index exact),
+    * ``matcher_prefilters`` — use the cached per-graph label-pair /
+      neighboring-label-signature structures (:mod:`repro.graphs.
+      matcher_index`) to refute candidates in center pruning and
+      verification before any backtracking.  Answer sets are identical
+      either way (every filter is a necessary condition — the
+      differential suites pin this); ``False`` restores the unfiltered
+      matcher, whose worst-case cost the deadline tests and adversarial
+      benchmarks rely on.  A runtime performance knob like ``workers``:
+      it cannot change what gets built or answered, so it is
+      deliberately excluded from persistence,
     * ``seed``    — RNG seed for the randomized partition,
     * ``workers`` — process-pool width for index construction.  Mining's
       per-graph embedding enumeration and the feature-location table
@@ -154,6 +164,7 @@ class TreePiConfig:
     direct_verification_max_edges: int = 5
     center_prune_budget: int = 2000
     max_embeddings_per_graph: Optional[int] = None
+    matcher_prefilters: bool = True
     seed: int = 2007
     workers: int = 1
 
@@ -486,6 +497,7 @@ class TreePiIndex:
                 oracles=self._oracles,
                 budget_per_graph=prune_budget,
                 token=token,
+                query=query if self._config.matcher_prefilters else None,
             )
             survivors = report.survivors
             prune_exhausted = report.exhausted + report.skipped
@@ -521,8 +533,11 @@ class TreePiIndex:
         *unresolved*, never silently matched or rejected.
         """
         query = plan.query
+        prefilter = self._config.matcher_prefilters
         if query.num_edges <= self._config.direct_verification_max_edges:
-            return is_subgraph_isomorphic(query, self._db[gid], token=token)
+            return is_subgraph_isomorphic(
+                query, self._db[gid], token=token, prefilter=prefilter
+            )
         assert plan.problem is not None
         return verify_candidate(
             query,
@@ -532,6 +547,7 @@ class TreePiIndex:
             vstats,
             oracle=self._oracles.setdefault(gid, DistanceOracle(self._db[gid])),
             token=token,
+            prefilter=prefilter,
         )
 
     def finish(

@@ -39,6 +39,7 @@ from repro.core.center_prune import CenterConstraintProblem
 from repro.graphs.distances import DistanceOracle
 from repro.graphs.graph import LabeledGraph
 from repro.graphs.isomorphism import subgraph_monomorphisms
+from repro.graphs.matcher_index import pair_subsumed
 from repro.trees.center import Center
 
 
@@ -112,6 +113,7 @@ def verify_candidate(
     stats: Optional[VerificationStats] = None,
     oracle: Optional[DistanceOracle] = None,
     token: Optional[CancellationToken] = None,
+    prefilter: bool = True,
 ) -> bool:
     """Algorithm 3: is ``q ⊆ g``, reconstructing from anchored pieces?
 
@@ -125,11 +127,20 @@ def verify_candidate(
     :class:`~repro.exceptions.BudgetExceeded` within a bounded number of
     steps.  The caller treats such a candidate as *unresolved* — never
     as a match or a non-match.
+
+    ``prefilter`` enables the cached label-pair refutation (a query
+    whose label-pair incidence multiset exceeds the graph's cannot embed
+    — an exact ``False``, no reconstruction needed) and is forwarded to
+    the piece-embedding matcher.
     """
     if stats is None:
         stats = VerificationStats()
     if token is not None:
         token.poll()
+    if prefilter and not pair_subsumed(
+        query.matcher_index(), graph.matcher_index()
+    ):
+        return False
     pieces = problem.pieces
     m = len(pieces)
 
@@ -222,7 +233,7 @@ def verify_candidate(
                 if conflict:
                     continue
                 for emb in subgraph_monomorphisms(
-                    piece.tree, graph, seed=seed, token=token
+                    piece.tree, graph, seed=seed, token=token, prefilter=prefilter
                 ):
                     stats.piece_embeddings_enumerated += 1
                     extended = dict(qmap)

@@ -14,10 +14,23 @@ synthetic generator uses small integers.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.exceptions import GraphError
 from repro.storage.posting import PostingList, id_array
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a module cycle
+    from repro.graphs.matcher_index import MatcherIndex
 
 VertexLabel = Hashable
 EdgeLabel = Hashable
@@ -44,7 +57,7 @@ class LabeledGraph:
         Optional identifier used by database containers and support sets.
     """
 
-    __slots__ = ("_vlabels", "_adj", "_num_edges", "graph_id")
+    __slots__ = ("_vlabels", "_adj", "_num_edges", "graph_id", "_matcher_cache")
 
     def __init__(
         self,
@@ -56,6 +69,7 @@ class LabeledGraph:
         self._adj: List[Dict[int, EdgeLabel]] = [{} for _ in self._vlabels]
         self._num_edges = 0
         self.graph_id = graph_id
+        self._matcher_cache: Optional["MatcherIndex"] = None
         for u, v, label in edges:
             self.add_edge(u, v, label)
 
@@ -66,6 +80,7 @@ class LabeledGraph:
         """Append a vertex with ``label`` and return its id."""
         self._vlabels.append(label)
         self._adj.append({})
+        self._matcher_cache = None
         return len(self._vlabels) - 1
 
     def add_edge(self, u: int, v: int, label: EdgeLabel) -> None:
@@ -78,6 +93,40 @@ class LabeledGraph:
         self._adj[u][v] = label
         self._adj[v][u] = label
         self._num_edges += 1
+        self._matcher_cache = None
+
+    # ------------------------------------------------------------------
+    # matcher acceleration (see repro.graphs.matcher_index)
+    # ------------------------------------------------------------------
+    def matcher_index(self) -> "MatcherIndex":
+        """The graph's cached :class:`~repro.graphs.matcher_index.MatcherIndex`.
+
+        Built lazily on first use and dropped by every structural
+        mutation (``add_vertex``/``add_edge`` — vertices and edges are
+        never removed in place; database-level removal discards the
+        whole graph object).  Derived state only: it is never persisted
+        (v1/v2/v3 loaders reconstruct graphs from columns, so a loaded
+        graph rebuilds its index lazily) and never pickled (see
+        ``__getstate__``).
+        """
+        if self._matcher_cache is None:
+            from repro.graphs.matcher_index import MatcherIndex
+
+            self._matcher_cache = MatcherIndex(self)
+        return self._matcher_cache
+
+    # ------------------------------------------------------------------
+    # pickling (process-pool builds ship graphs to workers)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> Tuple:
+        # The matcher cache is derived state — cheap to rebuild and big
+        # enough (parity matrices) that shipping it to pool workers would
+        # only slow the byte-identical parallel build down.
+        return (self._vlabels, self._adj, self._num_edges, self.graph_id)
+
+    def __setstate__(self, state: Tuple) -> None:
+        self._vlabels, self._adj, self._num_edges, self.graph_id = state
+        self._matcher_cache = None
 
     def _check_vertex(self, u: int) -> None:
         if not 0 <= u < len(self._vlabels):

@@ -1,4 +1,4 @@
-"""Labeled (sub)graph isomorphism via VF2-style backtracking.
+"""Labeled (sub)graph isomorphism via prefiltered, backjumping search.
 
 The paper's containment relation (Definition 3) is edge-subgraph
 isomorphism: ``q ⊆ g`` iff some subgraph of ``g`` is isomorphic to ``q``.
@@ -14,15 +14,34 @@ This module provides
 * :func:`are_isomorphic` and :func:`automorphisms` (Section 5.3.1 builds
   canonical reconstruction forms from automorphism groups).
 
-The matcher orders pattern vertices connectivity-first (each vertex after
-the first is adjacent to an earlier one whenever the pattern is connected)
-so candidates can be drawn from neighborhoods of already-matched images
-instead of the whole graph.
+The matcher orders pattern vertices connectivity-first (component by
+component for disconnected patterns) so candidates can be drawn from
+neighborhoods of already-matched images instead of the whole graph, and
+— following l2Match's label-pair/NLI filters and the Compact
+Neighborhood Index — refutes candidates against the cached per-graph
+:class:`~repro.graphs.matcher_index.MatcherIndex` before any adjacency
+walk:
+
+* a pattern whose (vertex-label, edge-label, vertex-label) incidence
+  multiset is not contained in the target's is rejected wholesale;
+* each level draws candidates from the image neighborhood of its
+  *rarest-label-pair* matched anchor instead of an arbitrary one;
+* per-vertex neighboring-label bitset signatures and walk-parity
+  distance bounds refute candidates in O(1) per check;
+* exhausted levels *jump-redo* (conflict-directed backjumping) to the
+  deepest level recorded in their conflict set instead of always
+  stepping back one.
+
+Every filter is a necessary condition on (partial) monomorphisms and
+backjumps only skip levels proven irrelevant to the failure, so the
+enumerated answer set is bit-for-bit the one the plain backtracker
+produced (``prefilter=False`` keeps the unfiltered search reachable for
+tests and worst-case benchmarking).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.flow import hot_path
 from repro.graphs.graph import LabeledGraph
@@ -30,26 +49,58 @@ from repro.graphs.graph import LabeledGraph
 if TYPE_CHECKING:  # runtime use is duck-typed to avoid a core<->graphs cycle
     from repro.core.budget import CancellationToken
 
+_MISSING = object()  # sentinel: None is a legal edge label
+
 
 def _matching_order(pattern: LabeledGraph, seeded: Tuple[int, ...]) -> List[int]:
     """Order pattern vertices so each one touches the already-ordered prefix.
 
-    Seeded vertices come first; ties are broken toward higher degree, which
-    tends to fail early on non-matching graphs.
+    Seeded vertices come first.  The rest is emitted **component by
+    component**: the components holding seeds (in first-seed order), then
+    the remaining components ordered by descending maximum degree with the
+    smallest contained vertex as tie-break.  Within a component the order
+    is connectivity-greedy — after the component's (max-degree) start
+    vertex, every vertex is adjacent to an earlier one, so the matcher can
+    always draw candidates from a matched anchor's image neighborhood.
+    The pre-fix fallback picked the *global* max-degree vertex whenever
+    the frontier emptied, which could interleave components and strand
+    levels without an anchor mid-component.
     """
-    n = pattern.num_vertices
     order: List[int] = list(seeded)
     placed = set(order)
-    while len(order) < n:
-        frontier = [
-            v
-            for v in pattern.vertices()
-            if v not in placed and any(w in placed for w in pattern.neighbors(v))
-        ]
-        pool = frontier or [v for v in pattern.vertices() if v not in placed]
-        nxt = max(pool, key=lambda v: (pattern.degree(v), -v))
-        order.append(nxt)
-        placed.add(nxt)
+    components = pattern.connected_components()
+    comp_of: Dict[int, int] = {}
+    for ci, comp in enumerate(components):
+        for v in comp:
+            comp_of[v] = ci
+    queue: List[int] = []
+    enqueued: Set[int] = set()
+    for v in seeded:
+        ci = comp_of[v]
+        if ci not in enqueued:
+            enqueued.add(ci)
+            queue.append(ci)
+    rest = [ci for ci in range(len(components)) if ci not in enqueued]
+    rest.sort(
+        key=lambda ci: (
+            -max(pattern.degree(v) for v in components[ci]),
+            components[ci][0],
+        )
+    )
+    queue.extend(rest)
+    for ci in queue:
+        remaining = [v for v in components[ci] if v not in placed]
+        while remaining:
+            frontier = [
+                v
+                for v in remaining
+                if any(w in placed for w in pattern.neighbors(v))
+            ]
+            pool = frontier or remaining
+            nxt = max(pool, key=lambda v: (pattern.degree(v), -v))
+            order.append(nxt)
+            placed.add(nxt)
+            remaining.remove(nxt)
     return order
 
 
@@ -60,6 +111,7 @@ def subgraph_monomorphisms(
     seed: Optional[Dict[int, int]] = None,
     limit: Optional[int] = None,
     token: Optional["CancellationToken"] = None,
+    prefilter: bool = True,
 ) -> Iterator[Dict[int, int]]:
     """Yield injective label-preserving maps of ``pattern`` into ``target``.
 
@@ -72,12 +124,22 @@ def subgraph_monomorphisms(
         Stop after this many embeddings.
     token:
         Optional :class:`~repro.core.budget.CancellationToken`.  The
-        backtracking search charges one work unit per candidate vertex
-        expansion (batched to ``token.CHECK_INTERVAL`` locked updates)
-        and unwinds with :class:`~repro.exceptions.BudgetExceeded` when
-        the budget runs out — the cooperative-cancellation hook that
-        bounds this otherwise NP-complete search.  ``None`` (the
-        default) leaves the search unbounded and the hot loop untouched.
+        search charges one work unit per candidate drawn (batched to
+        ``token.CHECK_INTERVAL`` locked updates) and unwinds with
+        :class:`~repro.exceptions.BudgetExceeded` when the budget runs
+        out — the cooperative-cancellation hook that bounds this
+        otherwise NP-complete search.  Any sub-interval remainder is
+        flushed (non-raising) when the generator exits or unwinds, so
+        ``token.work_charged`` is exact.  ``None`` (the default) leaves
+        the search unbounded and the hot loop untouched.
+    prefilter:
+        Use the cached :class:`~repro.graphs.matcher_index.MatcherIndex`
+        structures of both graphs — label-pair refutation, rarest-pair
+        anchor selection, neighboring-label signatures, walk-parity
+        bounds and conflict-directed backjumping guided by them.  The
+        answer set is identical either way; ``False`` restores the
+        unfiltered search (adversarial benchmarks and deadline tests
+        rely on its worst-case cost).
 
     Yields fresh dictionaries; callers may keep or mutate them freely.
     """
@@ -106,94 +168,274 @@ def subgraph_monomorphisms(
                 if pattern.edge_label(pv, pw) != target.edge_label(tv, tw):
                     return
 
-    order = _matching_order(pattern, tuple(seed))
-
     # Direct views of the internal adjacency/label structures: this is the
     # hottest loop in the library, and the accessor methods' bounds checks
     # dominate it otherwise.  Read-only use.
     t_adj = target._adj
     t_labels = target._vlabels
     p_labels = pattern._vlabels
+    p_adj = pattern._adj
+    tn = target.num_vertices
 
-    # Pre-bucket target vertices by label for unseeded, unconnected starts.
-    label_buckets: Dict[object, List[int]] = {}
-    for tv, lbl in enumerate(t_labels):
-        label_buckets.setdefault(lbl, []).append(tv)
+    # ------------------------------------------------------------------
+    # prefilter setup: cached per-graph invariants (l2Match / CNI)
+    # ------------------------------------------------------------------
+    pair_counts = None
+    t_vsig = t_esig = None
+    req_vsig = req_esig = None
+    t_even = t_odd = None
+    p_parity = None
+    if prefilter:
+        tindex = target.matcher_index()
+        pindex = pattern.matcher_index()
+        pair_counts = tindex.pair_counts
+        # Whole-pattern refutation: every pattern label-pair incidence
+        # needs a distinct target incidence with the same triple.
+        for key, cnt in pindex.pair_counts.items():  # noqa: REPRO101 - universally-quantified check; order-free
+            if pair_counts.get(key, 0) < cnt:
+                return
+        vbits = tindex.vlabel_bits
+        ebits = tindex.elabel_bits
+        # Per-pattern-vertex requirements, expressed in the *target's*
+        # bit space; a label the target lacks entirely refutes the call.
+        req_vsig = [0] * pn
+        req_esig = [0] * pn
+        for pv in range(pn):
+            if p_labels[pv] not in vbits:
+                return
+            sv = se = 0
+            for w, el in p_adj[pv].items():  # noqa: REPRO101 - commutative aggregation; order-free
+                vb = vbits.get(p_labels[w])
+                eb = ebits.get(el)
+                if vb is None or eb is None:
+                    return
+                sv |= vb
+                se |= eb
+            req_vsig[pv] = sv
+            req_esig[pv] = se
+        t_vsig = tindex.nbr_vsig
+        t_esig = tindex.nbr_esig
+        p_par = pindex.parity_rows()
+        t_par = tindex.parity_rows()
+        if p_par is not None and t_par is not None:
+            p_parity = p_par
+            t_even, t_odd = t_par
+
+    order = _matching_order(pattern, tuple(seed))
+    position = {v: i for i, v in enumerate(order)}
+    start = len(seed)
+
+    # ------------------------------------------------------------------
+    # per-level static tables
+    # ------------------------------------------------------------------
+    want_labels = [p_labels[v] for v in order]
+    want_degrees = [len(p_adj[v]) for v in order]
+    lvl_vsig = [req_vsig[v] for v in order] if req_vsig is not None else None
+    lvl_esig = [req_esig[v] for v in order] if req_esig is not None else None
+
+    # Back-edges of each level to earlier positions.  With pair counts
+    # available the *rarest* label pair supplies the primary anchor (its
+    # image neighborhood is the candidate source); the rest are checked.
+    primary_pos = [-1] * pn
+    primary_elabel: List[object] = [None] * pn
+    rest_anchors: List[List[Tuple[int, object]]] = []
+    for i in range(pn):
+        v = order[i]
+        backs = [(position[w], el) for w, el in p_adj[v].items() if position[w] < i]  # noqa: REPRO101 - all back-edges collected, then sorted
+        if pair_counts is not None and len(backs) > 1:
+            lv = want_labels[i]
+            backs.sort(
+                key=lambda b: (pair_counts.get((lv, b[1], want_labels[b[0]]), 0), b[0])
+            )
+        else:
+            backs.sort(key=lambda b: b[0])
+        if backs:
+            primary_pos[i] = backs[0][0]
+            primary_elabel[i] = backs[0][1]
+        rest_anchors.append(backs[1:])
+
+    # Walk-parity bounds of each level against every earlier position:
+    # (position, even bound, odd bound), finite bounds only.
+    par_bounds: Optional[List[List[Tuple[int, int, int]]]] = None
+    if p_parity is not None:
+        p_even, p_odd = p_parity
+        par_bounds = []
+        for i in range(pn):
+            base = order[i] * pn
+            bounds = []
+            for j in range(i):
+                w = order[j]
+                be, bo = p_even[base + w], p_odd[base + w]
+                if be < 255 or bo < 255:
+                    bounds.append((j, be, bo))
+            par_bounds.append(bounds)
+
+    # Label buckets are only needed by levels with no matched anchor.
+    label_buckets: Optional[Dict[object, List[int]]] = None
+    if any(primary_pos[i] < 0 for i in range(start, pn)):
+        label_buckets = {}
+        for tv, lbl in enumerate(t_labels):
+            label_buckets.setdefault(lbl, []).append(tv)
 
     mapping: Dict[int, int] = dict(seed)
-    used = set(seed.values())
+    # target vertex -> level that placed it (-1 for seeds); the owner
+    # level is the conflict a collision attributes to.
+    used: Dict[int, int] = {tv: -1 for tv in seed.values()}
+    images = [-1] * pn  # level -> placed target vertex
+    for j in range(start):
+        images[j] = mapping[order[j]]
+
     emitted = 0
+    if start == pn:
+        yield dict(mapping)
+        return
 
-    # Pattern adjacency restricted to already-ordered earlier vertices.
-    earlier_nbrs: List[List[Tuple[int, object]]] = []
-    position = {v: i for i, v in enumerate(order)}
-    for i, v in enumerate(order):
-        earlier_nbrs.append(
-            # Adjacency insertion order is deterministic (see LabeledGraph);
-            # sorting the hottest-loop setup would only slow the matcher.
-            [(w, lbl) for w, lbl in pattern._adj[v].items() if position[w] < i]  # noqa: REPRO101 - all back-edges collected; order-free
-        )
-    want_labels = [p_labels[v] for v in order]
-    want_degrees = [len(pattern._adj[v]) for v in order]
-
-    def candidates(i: int) -> Iterator[int]:
-        want_label = want_labels[i]
-        want_degree = want_degrees[i]
-        anchors = earlier_nbrs[i]
-        if anchors:
-            # Draw from the image neighborhood of one matched anchor.
-            aw, albl = anchors[0]
-            # Hottest loop in the library; adjacency order is deterministic.
-            for tv, tlbl in t_adj[mapping[aw]].items():  # noqa: REPRO101 - candidates re-sorted by the caller's loop order
-                if (
-                    tv not in used
-                    and tlbl == albl
-                    and t_labels[tv] == want_label
-                    and len(t_adj[tv]) >= want_degree
-                ):
-                    yield tv
-        else:
-            for tv in label_buckets.get(want_label, ()):
-                if tv not in used and len(t_adj[tv]) >= want_degree:
-                    yield tv
-
-    missing = object()  # sentinel: None is a legal edge label
-
-    def feasible(i: int, tv: int) -> bool:
-        row = t_adj[tv]
-        for pw, lbl in earlier_nbrs[i]:
-            if row.get(mapping[pw], missing) != lbl:
-                return False
-        return True
-
-    start = len(seed)
     check_interval = token.CHECK_INTERVAL if token is not None else 0
-    pending_steps = 0
+    pending = 0
 
-    def backtrack(i: int) -> Iterator[Dict[int, int]]:
-        nonlocal emitted, pending_steps
-        if i == pn:
-            emitted += 1
-            yield dict(mapping)
-            return
-        pv = order[i]
-        for tv in candidates(i):
-            if token is not None:
-                pending_steps += 1
-                if pending_steps >= check_interval:
-                    token.charge(pending_steps)  # raises BudgetExceeded
-                    pending_steps = 0
-            if not feasible(i, tv):
+    # ------------------------------------------------------------------
+    # iterative search with conflict-directed backjumping
+    # ------------------------------------------------------------------
+    # Per-level frame state.  ``conflicts[i]`` collects the earlier
+    # levels whose assignments refuted some candidate at level i; when i
+    # exhausts, the search jumps straight to the deepest of them (redo)
+    # — unless a solution was yielded below the current prefix
+    # (``sol_below``), in which case only a plain one-step backtrack
+    # keeps the enumeration complete.  Candidates refuted by
+    # target-static facts (label, degree, signatures) record no
+    # conflict: an anchored level still depends on its primary's image
+    # (seeded into the set at entry), while a bucket level exhausting
+    # with an empty set is refuted outright.
+    iters: List[Optional[Iterator]] = [None] * pn
+    conflicts: List[Optional[Set[int]]] = [None] * pn
+    sol_below = [False] * pn
+
+    try:
+        i = start
+        ppos = primary_pos[i]
+        if ppos >= 0:
+            iters[i] = iter(t_adj[images[ppos]].items())  # noqa: REPRO101 - candidate order is re-filtered; answers order-free
+            conflicts[i] = {ppos}
+        else:
+            iters[i] = iter(label_buckets.get(want_labels[i], ()))  # type: ignore[union-attr]
+            conflicts[i] = set()
+        while True:
+            # ---- seek the next viable candidate at level i ----
+            it = iters[i]
+            conf = conflicts[i]
+            ppos = primary_pos[i]
+            need_el = primary_elabel[i]
+            want_label = want_labels[i]
+            want_degree = want_degrees[i]
+            found = -1
+            for nxt in it:  # type: ignore[union-attr]
+                if token is not None:
+                    pending += 1
+                    if pending >= check_interval:
+                        # Zero before charging: a raising charge() has
+                        # already accounted these steps, so the finally
+                        # flush must not re-add them.
+                        steps, pending = pending, 0
+                        token.charge(steps)  # raises BudgetExceeded
+                if ppos >= 0:
+                    tv, el = nxt
+                    if el != need_el or t_labels[tv] != want_label:
+                        continue
+                else:
+                    tv = nxt
+                row = t_adj[tv]
+                if len(row) < want_degree:
+                    continue
+                owner = used.get(tv)
+                if owner is not None:
+                    conf.add(owner)  # type: ignore[union-attr]
+                    continue
+                if lvl_vsig is not None:
+                    rv = lvl_vsig[i]
+                    if (rv & t_vsig[tv]) != rv:  # type: ignore[index]
+                        continue
+                    re_ = lvl_esig[i]  # type: ignore[index]
+                    if (re_ & t_esig[tv]) != re_:  # type: ignore[index]
+                        continue
+                ok = True
+                for j, el2 in rest_anchors[i]:
+                    if row.get(images[j], _MISSING) != el2:
+                        conf.add(j)  # type: ignore[union-attr]
+                        ok = False
+                        break
+                if not ok:
+                    continue
+                if par_bounds is not None:
+                    tb = tv * tn
+                    for j, be, bo in par_bounds[i]:
+                        mj = tb + images[j]
+                        if (be < 255 and t_even[mj] > be) or (  # type: ignore[index]
+                            bo < 255 and t_odd[mj] > bo  # type: ignore[index]
+                        ):
+                            conf.add(j)  # type: ignore[union-attr]
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                found = tv
+                break
+
+            if found < 0:
+                # ---- level exhausted: backjump (or backtrack) ----
+                if sol_below[i]:
+                    jump = i - 1
+                elif conf:
+                    jump = max(conf)  # type: ignore[arg-type]
+                else:
+                    jump = -1  # refuted independently of earlier levels
+                if jump < start:
+                    return
+                jump_conf = conflicts[jump]
+                jump_conf |= conf  # type: ignore[operator, arg-type]
+                jump_conf.discard(jump)  # type: ignore[union-attr]
+                if sol_below[i]:
+                    sol_below[jump] = True
+                while i > jump:
+                    i -= 1
+                    tv = images[i]
+                    del used[tv]
+                    del mapping[order[i]]
+                    images[i] = -1
                 continue
-            mapping[pv] = tv
-            used.add(tv)
-            yield from backtrack(i + 1)
-            used.discard(tv)
-            del mapping[pv]
-            if limit is not None and emitted >= limit:
-                return
 
-    yield from backtrack(start)
+            # ---- place and descend ----
+            mapping[order[i]] = found
+            used[found] = i
+            images[i] = found
+            i += 1
+            if i == pn:
+                emitted += 1
+                yield dict(mapping)
+                if limit is not None and emitted >= limit:
+                    return
+                for j in range(start, pn):
+                    sol_below[j] = True
+                i -= 1
+                tv = images[i]
+                del used[tv]
+                del mapping[order[i]]
+                images[i] = -1
+                continue
+            ppos = primary_pos[i]
+            if ppos >= 0:
+                iters[i] = iter(t_adj[images[ppos]].items())  # noqa: REPRO101 - candidate order is re-filtered; answers order-free
+                conflicts[i] = {ppos}
+            else:
+                iters[i] = iter(label_buckets.get(want_labels[i], ()))  # type: ignore[union-attr]
+                conflicts[i] = set()
+            sol_below[i] = False
+    finally:
+        # Exact accounting (the pre-fix code dropped up to
+        # CHECK_INTERVAL-1 steps per call): flush the sub-interval
+        # remainder on every exit — normal exhaustion, limit, generator
+        # close, or BudgetExceeded unwind.  Non-raising by contract.
+        if token is not None and pending:
+            token.flush(pending)
 
 
 @hot_path
@@ -201,43 +443,65 @@ def is_subgraph_isomorphic(
     pattern: LabeledGraph,
     target: LabeledGraph,
     token: Optional["CancellationToken"] = None,
+    prefilter: bool = True,
 ) -> bool:
     """``pattern ⊆ target`` in the sense of Definition 3.
 
     ``token`` bounds the search (see :func:`subgraph_monomorphisms`);
     expiry raises :class:`~repro.exceptions.BudgetExceeded` rather than
-    guessing an answer.
+    guessing an answer.  ``prefilter`` is passed through to the matcher.
     """
-    for _ in subgraph_monomorphisms(pattern, target, limit=1, token=token):
+    for _ in subgraph_monomorphisms(
+        pattern, target, limit=1, token=token, prefilter=prefilter
+    ):
         return True
     return False
 
 
 def count_embeddings(
-    pattern: LabeledGraph, target: LabeledGraph, limit: Optional[int] = None
+    pattern: LabeledGraph,
+    target: LabeledGraph,
+    limit: Optional[int] = None,
+    token: Optional["CancellationToken"] = None,
 ) -> int:
-    """Number of monomorphisms of ``pattern`` into ``target`` (capped by ``limit``)."""
-    return sum(1 for _ in subgraph_monomorphisms(pattern, target, limit=limit))
+    """Number of monomorphisms of ``pattern`` into ``target`` (capped by ``limit``).
+
+    ``token`` bounds the enumeration exactly like
+    :func:`subgraph_monomorphisms` (the pre-fix signature offered no
+    pass-through, so budgeted callers could not bound the count).
+    """
+    return sum(
+        1 for _ in subgraph_monomorphisms(pattern, target, limit=limit, token=token)
+    )
 
 
-def are_isomorphic(g1: LabeledGraph, g2: LabeledGraph) -> bool:
+def are_isomorphic(
+    g1: LabeledGraph,
+    g2: LabeledGraph,
+    token: Optional["CancellationToken"] = None,
+) -> bool:
     """Exact isomorphism test (Definition 2).
 
     With equal vertex and edge counts, any monomorphism is bijective and
     must hit every edge of ``g2``, so it is a full isomorphism.
+    ``token`` bounds the underlying search; expiry raises
+    :class:`~repro.exceptions.BudgetExceeded`.
     """
     if g1.num_vertices != g2.num_vertices or g1.num_edges != g2.num_edges:
         return False
     if g1.label_multiset_signature() != g2.label_multiset_signature():
         return False
-    return is_subgraph_isomorphic(g1, g2)
+    return is_subgraph_isomorphic(g1, g2, token=token)
 
 
-def automorphisms(graph: LabeledGraph) -> List[Dict[int, int]]:
+def automorphisms(
+    graph: LabeledGraph, token: Optional["CancellationToken"] = None
+) -> List[Dict[int, int]]:
     """All label-preserving automorphisms of ``graph``.
 
     The identity is always included (for a non-empty graph).  Feature trees
     are small, so full enumeration is cheap; Section 5.3.1 uses these to
     minimize over symmetric renamings when building reconstruction forms.
+    ``token`` optionally bounds the enumeration.
     """
-    return list(subgraph_monomorphisms(graph, graph))
+    return list(subgraph_monomorphisms(graph, graph, token=token))

@@ -204,6 +204,33 @@ def run(xs, token):
     assert flow.accepts_token(site)  # registry fallback for unresolved calls
 
 
+def test_matcher_wrappers_are_token_accepting_callees():
+    """count_embeddings / are_isomorphic / automorphisms joined the
+    token-accepting surface when they gained ``token=`` pass-through, so
+    a caller that holds a token and drops it is a severed chain on every
+    one of them — not just on the raw enumerator."""
+    flow = build(
+        """
+def tally(pattern, graphs, token):
+    total = 0
+    for g in graphs:
+        total += count_embeddings(pattern, g, token=token)
+        if are_isomorphic(pattern, g):
+            total += len(automorphisms(g))
+    return total
+"""
+    )
+    tally = fn(flow, "tally")
+    by_name = {site.name: site for site in tally.calls}
+    for name in ("count_embeddings", "are_isomorphic", "automorphisms"):
+        assert flow.accepts_token(by_name[name]), name
+        assert flow.call_loops(by_name[name]), name
+    assert flow.forwards_token(tally, by_name["count_embeddings"])
+    # The dropped-token calls are exactly what REPRO301 exists to flag.
+    assert not flow.forwards_token(tally, by_name["are_isomorphic"])
+    assert not flow.forwards_token(tally, by_name["automorphisms"])
+
+
 def test_closure_captured_token_forwards_positionally():
     flow = build(
         """

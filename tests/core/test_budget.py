@@ -136,16 +136,36 @@ class TestMatcherCancellation:
         return cycle, grid
 
     def test_expired_token_unwinds_search(self):
+        # prefilter=False: the walk-parity prefilter refutes an odd cycle
+        # against a bipartite grid in a few hundred steps, so only the
+        # unfiltered matcher still exhibits the unbounded path-space walk
+        # this test exists to bound.
         cycle, grid = self._hard_instance()
         token = QueryBudget(verify_steps=200).start()
         with pytest.raises(BudgetExceeded):
-            list(subgraph_monomorphisms(cycle, grid, token=token))
+            list(
+                subgraph_monomorphisms(
+                    cycle, grid, token=token, prefilter=False
+                )
+            )
         # The batched checkpoint allows at most one interval of slack.
         assert token.work_charged <= 200 + token.CHECK_INTERVAL
+
+    def test_prefilter_refutes_hard_instance_within_budget(self):
+        # The same budget that the unfiltered search blows through in one
+        # checkpoint interval comfortably covers the prefiltered proof.
+        cycle, grid = self._hard_instance()
+        token = QueryBudget(verify_steps=2_000).start()
+        assert list(subgraph_monomorphisms(cycle, grid, token=token)) == []
+        assert not token.expired
+        assert 0 < token.work_charged < 2_000
 
     def test_no_token_is_exact(self):
         cycle, grid = self._hard_instance()
         assert list(subgraph_monomorphisms(cycle, grid)) == []
+        assert (
+            list(subgraph_monomorphisms(cycle, grid, prefilter=False)) == []
+        )
 
     def test_generous_token_changes_nothing(self):
         pattern = LabeledGraph(["a", "b"], [(0, 1, 1)])
@@ -153,3 +173,67 @@ class TestMatcherCancellation:
         free = list(subgraph_monomorphisms(pattern, target))
         token = QueryBudget(verify_steps=10_000, deadline_ms=60_000).start()
         assert list(subgraph_monomorphisms(pattern, target, token=token)) == free
+
+
+# ----------------------------------------------------------------------
+# exact step accounting — the flushed-remainder regression (PR 10)
+# ----------------------------------------------------------------------
+class TestExactStepAccounting:
+    """The matcher flushes sub-interval remainders, so the ledger is exact.
+
+    The pre-fix enumerator only charged the token every CHECK_INTERVAL
+    steps and dropped the remainder on exit — every search shorter than
+    64 candidate draws reported *zero* work, and longer ones undercounted
+    by up to 63 steps per call.
+    """
+
+    @staticmethod
+    def _instance():
+        # P2 path into a P3 path, single labels: small, fully deterministic.
+        pattern = LabeledGraph(["a", "b"], [(0, 1, 1)])
+        target = LabeledGraph(["a", "b", "a"], [(0, 1, 1), (1, 2, 1)])
+        return pattern, target
+
+    def test_small_search_charges_exact_residual(self):
+        pattern, target = self._instance()
+        token = QueryBudget(verify_steps=10_000).start()
+        assert len(list(subgraph_monomorphisms(pattern, target, token=token))) == 2
+        # Exactly 4 candidates are drawn: level 0 scans the "a" label
+        # bucket (vertices 0 and 2), and each placement draws vertex 1
+        # from its image neighborhood at level 1.  All four are charged
+        # even though 4 < CHECK_INTERVAL — the pre-fix ledger said 0.
+        assert token.work_charged == 4
+        assert token.work_charged < token.CHECK_INTERVAL
+
+    def test_seeded_search_charges_exact_residual(self):
+        pattern, target = self._instance()
+        token = QueryBudget(verify_steps=10_000).start()
+        found = list(
+            subgraph_monomorphisms(pattern, target, seed={0: 2}, token=token)
+        )
+        assert found == [{0: 2, 1: 1}]
+        # Pinning vertex 0 onto target 2 leaves one candidate draw: the
+        # single neighborhood expansion for pattern vertex 1.
+        assert token.work_charged == 1
+
+    def test_generator_close_flushes_remainder(self):
+        pattern, target = self._instance()
+        token = QueryBudget(verify_steps=10_000).start()
+        gen = subgraph_monomorphisms(pattern, target, token=token)
+        next(gen)
+        gen.close()  # abandoning the generator must still settle the ledger
+        assert token.work_charged > 0
+
+    def test_flush_is_non_raising_past_the_cap(self):
+        token = QueryBudget(verify_steps=10).start()
+        token.flush(25)  # work already done: account, expire, don't raise
+        assert token.work_charged == 25
+        assert token.expired
+        assert token.reason == "verify-budget"
+        with pytest.raises(BudgetExceeded):
+            token.poll()  # the *next* checkpoint raises
+
+    def test_flush_ignores_non_positive(self):
+        token = QueryBudget(verify_steps=10).start()
+        token.flush(0)
+        assert token.work_charged == 0 and not token.expired

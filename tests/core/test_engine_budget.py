@@ -59,13 +59,17 @@ def adversarial():
 
     No grid contains an odd cycle, but proving that forces the matcher
     through a huge path space — the NP-complete worst case a deadline
-    exists to bound.
+    exists to bound.  ``matcher_prefilters=False``: the walk-parity
+    prefilter refutes exactly this instance in well under a millisecond
+    (see ``TestPrefiltersDefuseAdversary``), and these tests exercise
+    the deadline machinery, which needs the worst case to stay worst.
     """
     db = GraphDatabase([_grid(6, 6) for _ in range(4)])
     config = TreePiConfig(
         SupportFunction(1, 2.0, 2),
         gamma=1.1,
         direct_verification_max_edges=20,
+        matcher_prefilters=False,
         seed=5,
     )
     return db, config, _odd_cycle(9)
@@ -220,3 +224,70 @@ class TestAdversarialDeadline:
         assert not qt.is_alive() and not wt.is_alive()
         assert results["gid"] in engine.index.database.graph_ids()
         assert not results["q"].complete
+
+
+# ----------------------------------------------------------------------
+# matcher prefilters vs the same adversary
+# ----------------------------------------------------------------------
+class TestPrefiltersDefuseAdversary:
+    DEADLINE_MS = 50.0
+
+    def test_prefilters_complete_within_deadline(self, adversarial):
+        """With prefilters on (the default), the adversarial workload is
+        refuted exactly — no degradation, same (empty) answer."""
+        db, config, query = adversarial
+        fast_config = TreePiConfig(
+            SupportFunction(1, 2.0, 2),
+            gamma=1.1,
+            direct_verification_max_edges=20,
+            seed=5,
+        )
+        assert fast_config.matcher_prefilters  # the default
+        engine = QueryEngine(TreePiIndex.build(db, fast_config), cache_size=0)
+        result = engine.query(
+            query, budget=QueryBudget(deadline_ms=self.DEADLINE_MS)
+        )
+        assert result.complete
+        assert result.matches == frozenset()
+        assert result.unresolved == frozenset()
+        assert engine.stats.timeouts == 0
+
+    def test_prefilters_do_not_change_answers(self, adversarial):
+        db, config, query = adversarial
+        slow = QueryEngine(TreePiIndex.build(db, config), cache_size=0)
+        fast_config = TreePiConfig(
+            SupportFunction(1, 2.0, 2),
+            gamma=1.1,
+            direct_verification_max_edges=20,
+            seed=5,
+        )
+        fast = QueryEngine(TreePiIndex.build(db, fast_config), cache_size=0)
+        assert (
+            slow.query(query).matches
+            == fast.query(query).matches
+            == frozenset()
+        )
+
+    def test_engine_verify_steps_ledger_is_fed(self, adversarial):
+        """Budgeted calls fold the token's exact work total into
+        EngineStats.verify_steps (zero before the fix: the matcher
+        dropped sub-interval remainders and the engine never read the
+        ledger)."""
+        db, config, query = adversarial
+        fast_config = TreePiConfig(
+            SupportFunction(1, 2.0, 2),
+            gamma=1.1,
+            direct_verification_max_edges=20,
+            seed=5,
+        )
+        engine = QueryEngine(TreePiIndex.build(db, fast_config), cache_size=0)
+        assert engine.stats.verify_steps == 0
+        result = engine.query(query, budget=QueryBudget(verify_steps=100_000))
+        assert result.complete
+        steps_after_one = engine.stats.verify_steps
+        assert steps_after_one > 0
+        engine.query(query, budget=QueryBudget(verify_steps=100_000))
+        assert engine.stats.verify_steps == 2 * steps_after_one
+        # Unbudgeted traffic has no token, so the ledger is untouched.
+        engine.query(query)
+        assert engine.stats.verify_steps == 2 * steps_after_one

@@ -1,7 +1,9 @@
-"""Unit tests for the VF2-style monomorphism matcher."""
+"""Unit tests for the prefiltered backjumping monomorphism matcher."""
 
 import pytest
 
+from repro.core.budget import QueryBudget
+from repro.exceptions import BudgetExceeded
 from repro.graphs import (
     LabeledGraph,
     are_isomorphic,
@@ -13,6 +15,7 @@ from repro.graphs import (
     star_graph,
     subgraph_monomorphisms,
 )
+from repro.graphs.isomorphism import _matching_order
 
 
 class TestMonomorphisms:
@@ -83,6 +86,104 @@ class TestMonomorphisms:
         # choose 2 ordered leaves of 3: 6 embeddings
         assert count_embeddings(star, target) == 6
 
+    def test_none_edge_labels_are_matched_exactly(self):
+        # None is a legal edge label and must not collide with any real
+        # label (the candidate filter uses a sentinel, not None).
+        pattern = LabeledGraph(["a", "b"], [(0, 1, None)])
+        target = LabeledGraph(["a", "b", "b"], [(0, 1, None), (0, 2, 1)])
+        assert list(subgraph_monomorphisms(pattern, target)) == [{0: 0, 1: 1}]
+        labeled = LabeledGraph(["a", "b"], [(0, 1, 1)])
+        assert list(subgraph_monomorphisms(labeled, target)) == [{0: 0, 1: 2}]
+
+    def test_prefilter_flag_does_not_change_answers(self, triangle):
+        q = LabeledGraph(["C", "C"], [(0, 1, 1)])
+        fast = list(subgraph_monomorphisms(q, triangle))
+        slow = list(subgraph_monomorphisms(q, triangle, prefilter=False))
+        assert fast == slow
+
+
+class TestMatchingOrder:
+    """Component-contiguous ordering (the disconnected-pattern fix).
+
+    The pre-fix fallback refilled an empty frontier from the *global*
+    vertex pool, so a disconnected pattern could interleave components
+    and strand mid-component levels without a matched anchor.
+    """
+
+    @staticmethod
+    def _component_runs(pattern, order, skip):
+        comps = pattern.connected_components()
+        comp_of = {v: ci for ci, comp in enumerate(comps) for v in comp}
+        runs = []
+        for v in order[skip:]:
+            ci = comp_of[v]
+            if not runs or runs[-1] != ci:
+                runs.append(ci)
+        return runs
+
+    def test_seeded_components_come_first_in_seed_order(self):
+        # Two disjoint paths; one seed in each component, second
+        # component's seed listed first.
+        pattern = LabeledGraph(
+            ["a"] * 6, [(0, 1, 1), (1, 2, 1), (3, 4, 1), (4, 5, 1)]
+        )
+        order = _matching_order(pattern, (5, 0))
+        assert order[:2] == [5, 0]
+        assert self._component_runs(pattern, order, skip=2) == [1, 0]
+
+    def test_unseeded_components_ordered_by_max_degree(self):
+        # A 3-leaf star (max degree 3) must precede the path (max degree
+        # 2) even though the path holds the smaller vertex ids.
+        pattern = LabeledGraph(
+            ["a"] * 7,
+            [(0, 1, 1), (1, 2, 1), (3, 4, 1), (3, 5, 1), (3, 6, 1)],
+        )
+        order = _matching_order(pattern, ())
+        assert order[0] == 3
+        assert set(order[:4]) == {3, 4, 5, 6}
+        assert self._component_runs(pattern, order, skip=0) == [1, 0]
+
+    def test_each_component_is_one_contiguous_run(self):
+        pattern = LabeledGraph(
+            ["a"] * 9,
+            [(0, 1, 1), (2, 3, 1), (3, 4, 1), (5, 6, 1), (6, 7, 1), (7, 8, 1)],
+        )
+        order = _matching_order(pattern, ())
+        runs = self._component_runs(pattern, order, skip=0)
+        assert sorted(runs) == [0, 1, 2]  # no component re-entered
+
+    def test_non_first_vertices_touch_their_component_prefix(self):
+        pattern = LabeledGraph(
+            ["a"] * 9,
+            [(0, 1, 1), (2, 3, 1), (3, 4, 1), (5, 6, 1), (6, 7, 1), (7, 8, 1)],
+        )
+        order = _matching_order(pattern, ())
+        placed = set()
+        firsts = 0
+        for v in order:
+            if not any(w in placed for w in pattern.neighbors(v)):
+                firsts += 1  # the entry point of a fresh component
+            placed.add(v)
+        assert firsts == len(pattern.connected_components())
+
+    def test_two_component_pattern_enumerates_exactly(self):
+        # Two disjoint a-b edges into the path a-b-a-b: the two pattern
+        # edges must land on vertex-disjoint oriented a-b pairs.
+        pattern = LabeledGraph(["a", "b", "a", "b"], [(0, 1, 1), (2, 3, 1)])
+        target = path_graph(["a", "b", "a", "b"])
+        embs = list(subgraph_monomorphisms(pattern, target))
+        assert sorted(embs, key=lambda m: m[0]) == [
+            {0: 0, 1: 1, 2: 2, 3: 3},
+            {0: 2, 1: 3, 2: 0, 3: 1},
+        ]
+
+    def test_seed_across_components_restricts_exactly(self):
+        pattern = LabeledGraph(["a", "b", "a", "b"], [(0, 1, 1), (2, 3, 1)])
+        target = path_graph(["a", "b", "a", "b"])
+        assert list(subgraph_monomorphisms(pattern, target, seed={0: 2})) == [
+            {0: 2, 1: 3, 2: 0, 3: 1}
+        ]
+
 
 class TestIsomorphism:
     def test_relabeled_graphs_isomorphic(self, small_tree):
@@ -128,3 +229,59 @@ class TestAutomorphisms:
     def test_star_symmetry(self):
         s = star_graph("h", ["x", "x", "x"])
         assert len(automorphisms(s)) == 6  # S3 on the leaves
+
+
+class TestTokenPassThrough:
+    """The convenience wrappers forward ``token=`` into the enumerator.
+
+    Pre-fix, :func:`count_embeddings`, :func:`are_isomorphic` and
+    :func:`automorphisms` accepted no token at all, so budgeted callers
+    could not bound them (REPRO301's severed-chain pattern at the API
+    boundary).
+    """
+
+    @staticmethod
+    def _hard_instance():
+        # Same adversary as the budget tests: odd cycle vs bipartite grid.
+        m = n = 6
+        verts = ["a"] * (m * n)
+        edges = []
+        for r in range(m):
+            for c in range(n):
+                v = r * n + c
+                if c + 1 < n:
+                    edges.append((v, v + 1, 1))
+                if r + 1 < m:
+                    edges.append((v, v + n, 1))
+        grid = LabeledGraph(verts, edges)
+        cycle = LabeledGraph(["a"] * 9, [(i, (i + 1) % 9, 1) for i in range(9)])
+        return cycle, grid
+
+    def test_count_embeddings_honors_budget(self):
+        cycle, grid = self._hard_instance()
+        token = QueryBudget(verify_steps=10).start()
+        with pytest.raises(BudgetExceeded):
+            count_embeddings(cycle, grid, token=token)
+        assert token.expired and token.reason == "verify-budget"
+
+    def test_automorphisms_honors_budget(self):
+        token = QueryBudget(verify_steps=10).start()
+        with pytest.raises(BudgetExceeded):
+            automorphisms(cycle_graph(["a"] * 12), token=token)
+
+    def test_are_isomorphic_charges_the_token(self):
+        # The search here finishes inside one checkpoint interval, so the
+        # residual flush (not a raising charge) is what must land: the
+        # call succeeds, and the over-cap ledger expires the token.
+        g = cycle_graph(["a"] * 6)
+        token = QueryBudget(verify_steps=0).start()
+        assert are_isomorphic(g, g.relabeled([3, 4, 5, 0, 1, 2]), token=token)
+        assert token.work_charged > 0
+        assert token.expired and token.reason == "verify-budget"
+
+    def test_generous_tokens_change_no_answers(self):
+        g = cycle_graph(["a"] * 6)
+        budget = QueryBudget(verify_steps=100_000)
+        assert are_isomorphic(g, g.relabeled([1, 2, 3, 4, 5, 0]), token=budget.start())
+        assert count_embeddings(g, g, token=budget.start()) == 12
+        assert len(automorphisms(g, token=budget.start())) == 12
